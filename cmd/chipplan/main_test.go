@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestMeasureMode(t *testing.T) {
+	silence(t)
+	args := []string{"-measure", "gzip-graphic", "-commits", "8000", "-rawfit", "0.05"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetFileMode(t *testing.T) {
+	silence(t)
+	path := filepath.Join(t.TempDir(), "budget.json")
+	data := []byte(`{
+		"RawFITPerBit": 0.05,
+		"SDCTargetYears": 5000,
+		"DUETargetYears": 25,
+		"Structures": [
+			{"Name": "iq", "Bits": 2624, "SDCAVF": 0.3, "FalseDUEAVF": 0.25},
+			{"Name": "rf", "Bits": 18752, "SDCAVF": 0.1, "FalseDUEAVF": 0.01}
+		]
+	}`)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-budget", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-measure", "x", "-budget", "y"}); err == nil {
+		t.Error("both modes accepted")
+	}
+	if err := run([]string{"-measure", "nosuch"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-budget", filepath.Join(t.TempDir(), "none.json")}); err == nil {
+		t.Error("missing budget accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(garbage, []byte("{"), 0o644)
+	if err := run([]string{"-budget", garbage}); err == nil {
+		t.Error("garbage budget accepted")
+	}
+}

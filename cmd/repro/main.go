@@ -1,0 +1,309 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	repro table1     — Table 1: squashing vs IPC and SDC/DUE AVFs
+//	repro table2     — Table 2: the benchmark roster
+//	repro outcomes   — Figure 1: fault-outcome taxonomy (injection campaign)
+//	repro fig2       — Figure 2: false-DUE coverage per tracking mechanism
+//	repro fig3       — Figure 3: FDD coverage vs PET-buffer size
+//	repro fig4       — Figure 4: combined squash + π tracking, per benchmark
+//	repro breakdown  — §4.1 occupancy breakdown (idle/Ex-ACE/un-ACE/ACE)
+//	repro ablation   — fetch throttling vs squashing (§3.1)
+//	repro protection — absolute SDC/DUE rates across protection schemes (§2, §8)
+//	repro regfile    — register-file AVFs across the roster (§8's extension)
+//	repro simpoints  — AVF sensitivity to the SimPoint slice chosen (§5)
+//	repro all        — everything above (except simpoints)
+//
+// Numbers come from the synthetic workload substrate, so absolute values
+// differ from the paper's Asim/SPEC measurements; the shapes are the
+// reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"softerror/internal/core"
+	"softerror/internal/fault"
+	"softerror/internal/report"
+	"softerror/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	commits := fs.Uint64("commits", core.DefaultCommits, "committed instructions per run")
+	benchList := fs.String("benches", "", "comma-separated benchmark subset (default: all 26)")
+	pet := fs.Int("pet", 512, "PET buffer entries for fig2")
+	rawFIT := fs.Float64("rawfit", 0.001, "raw soft-error rate per bit (FIT), for protection")
+	simpoints := fs.Int("simpoints", 4, "slices per benchmark for simpoints")
+	strikes := fs.Int("strikes", 50_000, "fault-injection strikes for outcomes")
+	seed := fs.Uint64("seed", 1, "fault-injection seed")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: repro [flags] <table1|table2|outcomes|fig2|fig3|fig4|breakdown|ablation|protection|regfile|simpoints|all>\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one experiment required")
+	}
+
+	benches := spec.All()
+	if *benchList != "" {
+		benches = benches[:0]
+		for _, name := range strings.Split(*benchList, ",") {
+			b, ok := spec.ByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown benchmark %q (known: %s)",
+					name, strings.Join(spec.Names(), ", "))
+			}
+			benches = append(benches, b)
+		}
+	}
+	suite := core.NewSuite(benches, *commits)
+	emit := func(t *report.Table) error {
+		if *csvOut {
+			return t.CSV(os.Stdout)
+		}
+		t.Fprint(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+
+	experiments := map[string]func() error{
+		"table1":     func() error { return table1(suite, emit) },
+		"table2":     func() error { return table2(benches, emit) },
+		"outcomes":   func() error { return outcomes(benches, *commits, *strikes, *seed, emit) },
+		"fig2":       func() error { return fig2(suite, *pet, emit) },
+		"fig3":       func() error { return fig3(suite, emit) },
+		"fig4":       func() error { return fig4(suite, emit) },
+		"breakdown":  func() error { return breakdown(suite, emit) },
+		"ablation":   func() error { return ablation(suite, emit) },
+		"protection": func() error { return protection(benches, *commits, *rawFIT, emit) },
+		"regfile":    func() error { return regfile(suite, emit) },
+		"simpoints":  func() error { return simPoints(benches, *commits, *simpoints, emit) },
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, k := range []string{"table2", "table1", "breakdown", "fig2", "fig3", "fig4", "ablation", "protection", "regfile", "outcomes"} {
+			if err := experiments[k](); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	exp, ok := experiments[name]
+	if !ok {
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return exp()
+}
+
+func table1(s *core.Suite, emit func(*report.Table) error) error {
+	rows, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	t := report.New("Table 1: impact of squashing on IPC and the IQ's SDC and DUE AVFs",
+		"design point", "IPC", "SDC AVF", "DUE AVF", "IPC/SDC AVF", "IPC/DUE AVF")
+	for _, r := range rows {
+		t.AddRow(r.Policy.String(), report.F2(r.IPC), report.Pct(r.SDCAVF),
+			report.Pct(r.DUEAVF), report.F2(r.MeritSDC), report.F2(r.MeritDUE))
+	}
+	return emit(t)
+}
+
+func table2(benches []spec.Benchmark, emit func(*report.Table) error) error {
+	t := report.New("Table 2: benchmark roster (synthetic SPEC CPU2000 stand-ins)",
+		"benchmark", "suite", "skipped (M)")
+	for _, b := range benches {
+		kind := "INT"
+		if b.FP {
+			kind = "FP"
+		}
+		t.AddRow(b.Name, kind, fmt.Sprintf("%d", b.SkippedM))
+	}
+	return emit(t)
+}
+
+func outcomes(benches []spec.Benchmark, commits uint64, strikes int, seed uint64, emit func(*report.Table) error) error {
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmarks")
+	}
+	b := benches[0]
+	rows, err := core.Outcomes(b, commits, strikes, seed)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("Figure 1: fault-outcome taxonomy (%s, %d strikes)", b.Name, strikes),
+		"configuration", "idle", "never-read", "benign", "SDC", "false DUE", "true DUE", "suppressed", "latent")
+	for _, r := range rows {
+		frac := func(o fault.Outcome) string {
+			return report.Pct(float64(r.Counts[o]) / float64(r.Strikes))
+		}
+		t.AddRow(r.Label, frac(fault.OutcomeIdle), frac(fault.OutcomeNeverRead),
+			frac(fault.OutcomeBenignUnACE), frac(fault.OutcomeSDC),
+			frac(fault.OutcomeFalseDUE), frac(fault.OutcomeTrueDUE),
+			frac(fault.OutcomeSuppressed), frac(fault.OutcomeLatent))
+	}
+	return emit(t)
+}
+
+func fig2(s *core.Suite, pet int, emit func(*report.Table) error) error {
+	rows, err := s.Figure2(pet)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("Figure 2: false-DUE AVF remaining after cumulative tracking (PET=%d)", pet),
+		"benchmark", "base", "pi-commit", "anti-pi", "pet", "pi-regfile", "pi-storebuf", "pi-memory")
+	addRow := func(r core.Figure2Row) {
+		cells := []string{r.Bench, report.Pct(r.BaseFalseDUE)}
+		for _, rem := range r.Remaining {
+			cells = append(cells, report.Pct(rem))
+		}
+		t.AddRow(cells...)
+	}
+	for _, r := range rows {
+		addRow(r)
+	}
+	intOnly, fpOnly := false, true
+	mi := core.Figure2Mean(rows, &intOnly)
+	mi.Bench = "mean-INT"
+	mf := core.Figure2Mean(rows, &fpOnly)
+	mf.Bench = "mean-FP"
+	ma := core.Figure2Mean(rows, nil)
+	ma.Bench = "mean-ALL"
+	for _, m := range []core.Figure2Row{mi, mf, ma} {
+		addRow(m)
+	}
+	return emit(t)
+}
+
+func fig3(s *core.Suite, emit func(*report.Table) error) error {
+	rows, err := s.Figure3(nil)
+	if err != nil {
+		return err
+	}
+	t := report.New("Figure 3: FDD coverage vs PET-buffer size",
+		"entries", "FDD-reg", "+returns", "+memory")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Entries), report.Pct(r.FDDReg),
+			report.Pct(r.WithReturns), report.Pct(r.WithMemory))
+	}
+	return emit(t)
+}
+
+func fig4(s *core.Suite, emit func(*report.Table) error) error {
+	rows, err := s.Figure4()
+	if err != nil {
+		return err
+	}
+	t := report.New("Figure 4: combined squash-L1 + pi-to-store tracking, relative to baseline",
+		"benchmark", "rel SDC AVF", "rel DUE AVF", "rel IPC")
+	var sdc, due, ipc []float64
+	for _, r := range rows {
+		t.AddRow(r.Bench, report.F3(r.RelSDC), report.F3(r.RelDUE), report.F3(r.RelIPC))
+		sdc = append(sdc, r.RelSDC)
+		due = append(due, r.RelDUE)
+		ipc = append(ipc, r.RelIPC)
+	}
+	t.AddRow("geomean", report.F3(core.GeoMean(sdc)), report.F3(core.GeoMean(due)), report.F3(core.GeoMean(ipc)))
+	return emit(t)
+}
+
+func breakdown(s *core.Suite, emit func(*report.Table) error) error {
+	rows, err := s.Breakdown()
+	if err != nil {
+		return err
+	}
+	t := report.New("Occupancy breakdown of the IQ (section 4.1)",
+		"benchmark", "idle", "never-read", "Ex-ACE", "un-ACE", "ACE")
+	var idle, nr, ex, un, ace float64
+	for _, r := range rows {
+		t.AddRow(r.Bench, report.Pct(r.Idle), report.Pct(r.NeverRead),
+			report.Pct(r.ExACE), report.Pct(r.UnACE), report.Pct(r.ACE))
+		idle += r.Idle
+		nr += r.NeverRead
+		ex += r.ExACE
+		un += r.UnACE
+		ace += r.ACE
+	}
+	n := float64(len(rows))
+	t.AddRow("mean", report.Pct(idle/n), report.Pct(nr/n), report.Pct(ex/n),
+		report.Pct(un/n), report.Pct(ace/n))
+	return emit(t)
+}
+
+func ablation(s *core.Suite, emit func(*report.Table) error) error {
+	rows, err := s.ThrottleAblation()
+	if err != nil {
+		return err
+	}
+	t := report.New("Ablation: squashing vs fetch throttling (section 3.1)",
+		"design point", "IPC", "SDC AVF", "IPC/SDC AVF")
+	for _, r := range rows {
+		t.AddRow(r.Policy.String(), report.F2(r.IPC), report.Pct(r.SDCAVF), report.F2(r.MeritSDC))
+	}
+	return emit(t)
+}
+
+func protection(benches []spec.Benchmark, commits uint64, rawFIT float64, emit func(*report.Table) error) error {
+	rows, err := core.ProtectionComparison(benches, commits, rawFIT)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("Protection design space for the IQ at %.4f FIT/bit", rawFIT),
+		"scheme", "SDC rate", "DUE rate")
+	for _, r := range rows {
+		t.AddRow(r.Scheme, r.SDCFIT.String(), r.DUEFIT.String())
+	}
+	return emit(t)
+}
+
+func simPoints(benches []spec.Benchmark, commits uint64, n int, emit func(*report.Table) error) error {
+	t := report.New(fmt.Sprintf("SimPoint sensitivity (%d slices per benchmark, baseline)", n),
+		"benchmark", "IPC", "+/-", "SDC AVF", "+/-", "DUE AVF", "+/-")
+	for _, b := range benches {
+		sum, err := core.RunSimPoints(b, core.PolicyBaseline, n, commits)
+		if err != nil {
+			return err
+		}
+		t.AddRow(b.Name,
+			report.F2(sum.MeanIPC), report.F2(sum.StdIPC),
+			report.Pct(sum.MeanSDCAVF), report.Pct(sum.StdSDCAVF),
+			report.Pct(sum.MeanDUEAVF), report.Pct(sum.StdDUEAVF))
+	}
+	return emit(t)
+}
+
+func regfile(s *core.Suite, emit func(*report.Table) error) error {
+	rows, err := s.RegFile()
+	if err != nil {
+		return err
+	}
+	t := report.New("Register-file vulnerability across the roster (section 8 extension)",
+		"benchmark", "SDC AVF", "false DUE", "Ex-ACE", "untouched")
+	var sdc, fd float64
+	for _, r := range rows {
+		t.AddRow(r.Bench, report.Pct(r.SDCAVF), report.Pct(r.FalseDUEAVF),
+			report.Pct(r.ExACE), report.Pct(r.Untouched))
+		sdc += r.SDCAVF
+		fd += r.FalseDUEAVF
+	}
+	n := float64(len(rows))
+	t.AddRow("mean", report.Pct(sdc/n), report.Pct(fd/n), "", "")
+	return emit(t)
+}

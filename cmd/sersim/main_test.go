@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestParsePolicy(t *testing.T) {
+	good := []string{"baseline", "none", "squash-l1", "squash-l0", "throttle-l1", "throttle-l0"}
+	for _, s := range good {
+		if _, err := parsePolicy(s); err != nil {
+			t.Errorf("parsePolicy(%q): %v", s, err)
+		}
+	}
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Error("parsePolicy accepted nonsense")
+	}
+}
+
+func TestRunDefaultWorkload(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-commits", "8000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBenchAndPolicies(t *testing.T) {
+	silence(t)
+	for _, pol := range []string{"baseline", "squash-l1", "throttle-l0"} {
+		args := []string{"-bench", "mcf", "-policy", pol, "-commits", "8000"}
+		if err := run(args); err != nil {
+			t.Fatalf("policy %s: %v", pol, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-bench", "nosuch"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-policy", "nosuch"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	silence(t)
+	path := filepath.Join(t.TempDir(), "exp.json")
+	data := []byte(`{"bench": "ammp", "commits": 6000, "pipeline": {"IQSize": 32}}`)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", filepath.Join(t.TempDir(), "none.json")}); err == nil {
+		t.Error("missing config accepted")
+	}
+}

@@ -1,0 +1,114 @@
+// Command sweep runs a design-space grid over the simulator and writes one
+// long-format CSV row per (benchmark × policy × IQ size × issue discipline)
+// cell — ready for plotting or pivoting.
+//
+//	sweep -benches mcf,ammp -policies baseline,squash-l1 -iqsizes 16,32,64,128 -out grid.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"softerror/internal/core"
+	"softerror/internal/spec"
+	"softerror/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	benchList := fs.String("benches", "", "comma-separated benchmarks (default: all 26)")
+	polList := fs.String("policies", "baseline,squash-l1,squash-l0", "comma-separated policies")
+	sizeList := fs.String("iqsizes", "64", "comma-separated instruction-queue sizes")
+	oooList := fs.String("ooo", "false", "comma-separated issue disciplines (false,true)")
+	commits := fs.Uint64("commits", core.DefaultCommits, "committed instructions per cell")
+	out := fs.String("out", "", "output CSV path (default: stdout)")
+	quiet := fs.Bool("q", false, "suppress progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g := &sweep.Grid{Commits: *commits}
+	g.Benches = spec.All()
+	if *benchList != "" {
+		g.Benches = g.Benches[:0]
+		for _, name := range strings.Split(*benchList, ",") {
+			b, ok := spec.ByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown benchmark %q", name)
+			}
+			g.Benches = append(g.Benches, b)
+		}
+	}
+	for _, p := range strings.Split(*polList, ",") {
+		pol, err := parsePolicy(strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		g.Policies = append(g.Policies, pol)
+	}
+	for _, s := range strings.Split(*sizeList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad IQ size %q", s)
+		}
+		g.IQSizes = append(g.IQSizes, n)
+	}
+	for _, s := range strings.Split(*oooList, ",") {
+		v, err := strconv.ParseBool(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad ooo value %q", s)
+		}
+		g.OutOfOrder = append(g.OutOfOrder, v)
+	}
+
+	progress := func(done, total int) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	rows, err := g.Run(progress)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return sweep.WriteCSV(w, rows)
+}
+
+func parsePolicy(s string) (core.Policy, error) {
+	switch s {
+	case "baseline", "none":
+		return core.PolicyBaseline, nil
+	case "squash-l1":
+		return core.PolicySquashL1, nil
+	case "squash-l0":
+		return core.PolicySquashL0, nil
+	case "throttle-l1":
+		return core.PolicyThrottleL1, nil
+	case "throttle-l0":
+		return core.PolicyThrottleL0, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}

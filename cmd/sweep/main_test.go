@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSweepToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "grid.csv")
+	args := []string{
+		"-q", "-benches", "gzip-graphic", "-policies", "baseline,squash-l1",
+		"-iqsizes", "32,64", "-ooo", "false,true", "-commits", "5000",
+		"-out", out,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1+2*2*2 {
+		t.Fatalf("CSV has %d lines, want header + 8 rows:\n%s", len(lines), data)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cases := [][]string{
+		{"-benches", "nosuch"},
+		{"-policies", "nosuch"},
+		{"-iqsizes", "abc"},
+		{"-ooo", "maybe"},
+	}
+	for _, args := range cases {
+		if err := run(append([]string{"-q"}, args...)); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParsePolicyNames(t *testing.T) {
+	for _, s := range []string{"baseline", "none", "squash-l1", "squash-l0", "throttle-l1", "throttle-l0"} {
+		if _, err := parsePolicy(s); err != nil {
+			t.Errorf("parsePolicy(%q): %v", s, err)
+		}
+	}
+}

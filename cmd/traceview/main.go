@@ -1,0 +1,97 @@
+// Command traceview analyses a previously saved simulation trace
+// (cmd/sersim -savetrace) without re-running the machine model: the full
+// AVF decomposition of the instruction queue, front-end buffer, store
+// buffer and register files, plus optional fault-injection campaigns.
+//
+//	sersim -bench mcf -savetrace mcf.trace
+//	traceview mcf.trace
+//	traceview -strikes 50000 mcf.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softerror/internal/ace"
+	"softerror/internal/cache"
+	"softerror/internal/fault"
+	"softerror/internal/report"
+	"softerror/internal/tracefile"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	strikes := fs.Int("strikes", 0, "if > 0, run a fault-injection campaign with this many strikes")
+	seed := fs.Uint64("seed", 1, "fault-injection seed")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: traceview [flags] <file.trace>\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one trace file required")
+	}
+	tr, err := tracefile.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	dead := ace.AnalyzeDeadness(tr.CommitLog)
+	iq := ace.AnalyzeWith(tr, dead)
+	fe := ace.AnalyzeFrontEnd(tr, dead)
+	sb := ace.AnalyzeStoreBuffer(tr, dead)
+	rf := ace.AnalyzeRegFile(tr, dead)
+
+	fmt.Printf("trace: %d commits over %d cycles (IPC %.3f), %d IQ residencies\n\n",
+		tr.Commits, tr.Cycles, tr.IPC(), len(tr.Residencies))
+
+	t := report.New("per-structure vulnerability",
+		"structure", "SDC AVF", "DUE AVF", "false DUE")
+	t.AddRow("instruction queue", report.Pct(iq.SDCAVF()), report.Pct(iq.DUEAVF()), report.Pct(iq.FalseDUEAVF()))
+	t.AddRow("front-end buffer", report.Pct(fe.SDCAVF()), report.Pct(fe.DUEAVF()), report.Pct(fe.FalseDUEAVF()))
+	t.AddRow("store buffer", report.Pct(sb.SDCAVF()), report.Pct(sb.DUEAVF()), report.Pct(sb.FalseDUEAVF()))
+	t.AddRow("register files", report.Pct(rf.SDCAVF()), report.Pct(rf.DUEAVF()), report.Pct(rf.FalseDUEAVF()))
+	t.Fprint(os.Stdout)
+
+	if *strikes > 0 {
+		fmt.Println()
+		inj := fault.NewInjector(tr, dead)
+		ct := report.New(fmt.Sprintf("IQ fault campaign (%d strikes)", *strikes),
+			"configuration", "SDC", "false DUE", "true DUE", "suppressed")
+		configs := []struct {
+			label string
+			cfg   fault.Config
+		}{
+			{"unprotected", fault.Config{Protection: cache.ProtNone}},
+			{"parity", fault.Config{Protection: cache.ProtParity, Level: ace.TrackNever}},
+			{"parity+pi-storebuf", fault.Config{Protection: cache.ProtParity, Level: ace.TrackStoreBuffer}},
+			{"parity+pi-memory", fault.Config{Protection: cache.ProtParity, Level: ace.TrackMemory}},
+		}
+		for _, c := range configs {
+			c.cfg.Strikes = *strikes
+			c.cfg.Seed = *seed
+			r, err := inj.Run(c.cfg)
+			if err != nil {
+				return err
+			}
+			ct.AddRow(c.label,
+				report.Pct(r.Frac(fault.OutcomeSDC)),
+				report.Pct(r.Frac(fault.OutcomeFalseDUE)),
+				report.Pct(r.Frac(fault.OutcomeTrueDUE)),
+				report.Pct(r.Frac(fault.OutcomeSuppressed)))
+		}
+		ct.Fprint(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"softerror/internal/core"
+	"softerror/internal/tracefile"
+	"softerror/internal/workload"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	res, err := core.Run(core.Config{Workload: workload.Default(), Commits: 6000, KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.trace")
+	if err := tracefile.Save(path, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestViewTrace(t *testing.T) {
+	silence(t)
+	path := writeTrace(t)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-strikes", "2000", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "none.trace")}); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(garbage, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{garbage}); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}

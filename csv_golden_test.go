@@ -1,0 +1,57 @@
+package softerror
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"softerror/internal/report"
+	"softerror/internal/spec"
+)
+
+// TestGoldenTable2CSV pins the CSV rendering of the benchmark roster
+// against a checked-in golden file: the roster and the CSV writer are both
+// stable interfaces.
+func TestGoldenTable2CSV(t *testing.T) {
+	tbl := report.New("ignored", "benchmark", "suite", "skipped_m")
+	for _, b := range spec.All() {
+		kind := "int"
+		if b.FP {
+			kind = "fp"
+		}
+		tbl.AddRow(b.Name, kind, itoa(b.SkippedM))
+	}
+	var sb strings.Builder
+	if err := tbl.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	const goldenPath = "testdata/table2.golden.csv"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("table2 CSV drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

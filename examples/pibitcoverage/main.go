@@ -1,0 +1,99 @@
+// Pibitcoverage: the false-DUE tracking stack of §4, demonstrated two ways.
+//
+// First, the PET buffer as a concrete data structure: we push a committed
+// stream through it and watch it prove first-level dead instructions
+// harmless at eviction time. Second, a fault-injection campaign on a full
+// simulation showing how each cumulative π-bit deployment converts false
+// DUEs into suppressions without ever losing a true error.
+//
+//	go run ./examples/pibitcoverage
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"softerror/internal/ace"
+	"softerror/internal/cache"
+	"softerror/internal/core"
+	"softerror/internal/fault"
+	"softerror/internal/isa"
+	"softerror/internal/pibit"
+	"softerror/internal/report"
+	"softerror/internal/spec"
+)
+
+func main() {
+	petDemo()
+	campaign()
+}
+
+// petDemo exercises the PET buffer directly: a faulty instruction whose
+// destination is overwritten without a read is proven dead at eviction.
+func petDemo() {
+	fmt.Println("-- PET buffer demo --")
+	pet := pibit.NewPETBuffer(4)
+
+	faulty := isa.Inst{Seq: 100, Class: isa.ClassALU,
+		Dest: isa.IntReg(7), Src1: isa.IntReg(1), Src2: isa.RegNone,
+		PredGuard: isa.RegNone}
+	overwriter := isa.Inst{Seq: 101, Class: isa.ClassALU,
+		Dest: isa.IntReg(7), Src1: isa.IntReg(2), Src2: isa.RegNone,
+		PredGuard: isa.RegNone}
+	nop := isa.Inst{Seq: 102, Class: isa.ClassNop,
+		Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone,
+		PredGuard: isa.RegNone}
+
+	pet.Push(faulty, true) // parity flagged this one: π set
+	pet.Push(overwriter, false)
+	pet.Push(nop, false)
+	pet.Push(nop, false)
+	signal, seq, _ := pet.Push(nop, false) // evicts the faulty entry
+	fmt.Printf("evicting seq %d with pi set: signal=%v (overwrite-without-read proves it FDD)\n",
+		seq, signal)
+	fmt.Printf("buffer counters: suppressed=%d signalled=%d\n\n",
+		pet.Suppressed(), pet.Signalled())
+}
+
+// campaign injects faults into a real simulation under each tracking level.
+func campaign() {
+	fmt.Println("-- fault-injection campaign (gzip-graphic, parity-protected IQ) --")
+	bench, ok := spec.ByName("gzip-graphic")
+	if !ok {
+		log.Fatal("benchmark missing")
+	}
+	res, err := core.Run(core.Config{
+		Workload:  bench.Params,
+		Commits:   60_000,
+		KeepTrace: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inj := fault.NewInjector(res.Trace, res.Report.Dead)
+
+	t := report.New("outcomes of 40,000 strikes per configuration",
+		"tracking level", "false DUE", "true DUE", "suppressed", "latent", "missed")
+	levels := append([]ace.TrackLevel{ace.TrackNever}, core.TrackingLevels...)
+	for _, lvl := range levels {
+		r, err := inj.Run(fault.Config{
+			Protection: cache.ProtParity,
+			Level:      lvl,
+			Strikes:    40_000,
+			Seed:       7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(lvl.String(),
+			report.Int(r.Counts[fault.OutcomeFalseDUE]),
+			report.Int(r.Counts[fault.OutcomeTrueDUE]),
+			report.Int(r.Counts[fault.OutcomeSuppressed]),
+			report.Int(r.Counts[fault.OutcomeLatent]),
+			report.Int(r.Counts[fault.OutcomeMissedError]))
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println("\nfalse DUEs fall to zero as the stack deploys; the 'missed' column")
+	fmt.Println("stays zero: no mechanism ever suppresses an outcome-changing error.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: simulate one workload, print the instruction queue's
+// vulnerability profile, and show the MITF arithmetic of §3.2.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softerror/internal/core"
+	"softerror/internal/serate"
+	"softerror/internal/workload"
+)
+
+func main() {
+	// A mid-of-the-road integer workload on the default Itanium®2-like
+	// core (6-wide, 64-entry IQ, 8KB/256KB/10MB caches).
+	res, err := core.Run(core.Config{
+		Workload: workload.Default(),
+		Commits:  100_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := res.Report
+	fmt.Printf("simulated %d instructions in %d cycles: IPC = %.2f\n\n",
+		res.Commits, res.Cycles, res.IPC)
+
+	fmt.Println("instruction-queue vulnerability:")
+	fmt.Printf("  SDC AVF (unprotected queue)      %5.1f%%\n", 100*rep.SDCAVF())
+	fmt.Printf("  DUE AVF (parity-protected queue) %5.1f%%\n", 100*rep.DUEAVF())
+	fmt.Printf("    true DUE  (real errors)        %5.1f%%\n", 100*rep.TrueDUEAVF())
+	fmt.Printf("    false DUE (benign, flagged)    %5.1f%%\n", 100*rep.FalseDUEAVF())
+	fmt.Printf("  dynamically dead instructions    %5.1f%%\n\n", 100*rep.Dead.DeadFraction())
+
+	// The MITF metric: how many instructions the machine commits, on
+	// average, between two errors — at a nominal raw rate of 0.001 FIT
+	// per bit for the queue's 64 x 41 payload bits.
+	raw := serate.FIT(0.001 * 64 * 41)
+	fmt.Println("at 0.001 FIT/bit and 2.5 GHz:")
+	fmt.Printf("  SDC MITF = %.3g instructions\n",
+		serate.MITFFromAVF(res.IPC, 2.5e9, raw, rep.SDCAVF()))
+	fmt.Printf("  DUE MITF = %.3g instructions\n",
+		serate.MITFFromAVF(res.IPC, 2.5e9, raw, rep.DUEAVF()))
+}

@@ -1,0 +1,68 @@
+// Squashstudy: the exposure-reduction trade-off of §3 on a memory-bound
+// workload. Sweeps the squash triggers and fetch-throttling, and reasons
+// about the performance/reliability trade with the MITF metric: a policy is
+// worthwhile only if it raises IPC/AVF — i.e. if it cuts the AVF by more
+// than it cuts the IPC.
+//
+//	go run ./examples/squashstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"softerror/internal/core"
+	"softerror/internal/pipeline"
+	"softerror/internal/report"
+	"softerror/internal/serate"
+	"softerror/internal/spec"
+)
+
+func main() {
+	// mcf: the classic pointer-chasing, memory-bound SPEC workload —
+	// instructions pool in the queue behind load misses, so there is a
+	// lot of exposure for squashing to remove.
+	bench, ok := spec.ByName("mcf")
+	if !ok {
+		log.Fatal("mcf missing from roster")
+	}
+
+	policies := []core.Policy{
+		core.PolicyBaseline,
+		core.PolicySquashL1,
+		core.PolicySquashL0,
+		core.PolicyThrottleL1,
+	}
+
+	var base *core.Result
+	t := report.New("exposure reduction on "+bench.Name,
+		"policy", "IPC", "SDC AVF", "DUE AVF", "squashes", "rel MITF (SDC)")
+	for _, pol := range policies {
+		cfg := pipeline.DefaultConfig()
+		pol.Apply(&cfg)
+		res, err := core.Run(core.Config{
+			Workload: bench.Params,
+			Pipeline: cfg,
+			Commits:  120_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pol == core.PolicyBaseline {
+			base = res
+		}
+		// MITF is proportional to IPC/AVF at fixed frequency and raw
+		// error rate, so the relative MITF needs no rate assumptions.
+		relMITF := serate.Merit(res.IPC, res.Report.SDCAVF()) /
+			serate.Merit(base.IPC, base.Report.SDCAVF())
+		t.AddRow(pol.String(), report.F2(res.IPC),
+			report.Pct(res.Report.SDCAVF()), report.Pct(res.Report.DUEAVF()),
+			report.Int(res.Squashes), report.Rel(relMITF))
+	}
+	t.Fprint(os.Stdout)
+
+	fmt.Println("\nreading the last column: positive means the AVF fell by more than")
+	fmt.Println("the IPC did, so the machine commits more instructions between errors —")
+	fmt.Println("the paper's criterion for a worthwhile exposure-reduction policy.")
+}

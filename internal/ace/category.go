@@ -1,0 +1,165 @@
+// Package ace implements the paper's ACE (architecturally correct
+// execution) analysis: it classifies every committed instruction's bits as
+// ACE or un-ACE, integrates instruction-queue residency intervals into
+// architectural vulnerability factors (AVFs), and decomposes the DUE AVF of
+// a parity-protected queue into its true and false components.
+//
+// The analysis is the post-processing half of the paper's methodology [18]:
+// the pipeline records *when* each instruction's bits occupied the IQ; this
+// package decides, with full future knowledge, *whether* those bits could
+// have affected the program's outcome. Dynamically dead instructions are
+// discovered from the committed stream itself (first-level and transitive,
+// tracked via registers and via memory, plus registers that die because the
+// procedure that wrote them returned), exactly the populations the paper's
+// π-bit mechanisms are designed to cover.
+package ace
+
+import (
+	"fmt"
+
+	"softerror/internal/isa"
+)
+
+// Category classifies a dynamic instruction for vulnerability purposes.
+// The un-ACE categories correspond one-to-one with the paper's false-DUE
+// sources and with the tracking mechanism needed to cover each (§4.3).
+type Category uint8
+
+const (
+	// CatACE marks instructions required for architecturally correct
+	// execution: a strike on their IQ bits (while awaiting issue) changes
+	// the program outcome.
+	CatACE Category = iota
+	// CatWrongPath marks instructions fetched past a mispredicted branch;
+	// covered by carrying the π bit to the commit point.
+	CatWrongPath
+	// CatPredFalse marks instructions whose qualifying predicate was
+	// false; covered at the commit point like wrong-path instructions.
+	CatPredFalse
+	// CatNeutral marks no-ops, prefetches and branch hints; non-opcode
+	// bits are un-ACE and covered by the anti-π bit.
+	CatNeutral
+	// CatFDDReg marks first-level dynamically dead register writes: the
+	// destination is overwritten before any read. Covered by the PET
+	// buffer (within its window) or a π bit per register.
+	CatFDDReg
+	// CatFDDRet marks register writes that die because their procedure
+	// returned before the overwrite; a π bit per register covers them.
+	CatFDDRet
+	// CatTDDReg marks transitively dead register writes: read only by
+	// dead register-tracked consumers. Covered by carrying π bits to the
+	// store buffer.
+	CatTDDReg
+	// CatFDDMem marks stores whose value is overwritten in memory before
+	// any load reads it; covered only by π bits on caches and memory.
+	CatFDDMem
+	// CatTDDMem marks instructions whose value reaches memory only
+	// through dead stores; covered only by π bits on caches and memory.
+	CatTDDMem
+
+	// NumCategories is the number of categories.
+	NumCategories = iota
+)
+
+var categoryNames = [NumCategories]string{
+	"ace", "wrong-path", "pred-false", "neutral",
+	"fdd-reg", "fdd-ret", "tdd-reg", "fdd-mem", "tdd-mem",
+}
+
+// String returns the category's short name.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", uint8(c))
+}
+
+// UnACE reports whether the category is un-ACE (a false-DUE source).
+func (c Category) UnACE() bool { return c != CatACE && int(c) < NumCategories }
+
+// Dead reports whether the category is a dynamically-dead classification.
+func (c Category) Dead() bool {
+	switch c {
+	case CatFDDReg, CatFDDRet, CatTDDReg, CatFDDMem, CatTDDMem:
+		return true
+	}
+	return false
+}
+
+// TrackLevel identifies the cheapest π-bit mechanism (paper §4.3, Figure 2)
+// that covers false errors on this category. Cumulative deployment through
+// a level covers every category at or below it.
+type TrackLevel uint8
+
+const (
+	// TrackNever: CatACE — a detected error is a true error.
+	TrackNever TrackLevel = iota
+	// TrackCommit: π bit carried to the commit point (wrong-path and
+	// predicated-false instructions).
+	TrackCommit
+	// TrackAntiPi: the anti-π bit on neutral instruction types.
+	TrackAntiPi
+	// TrackPET: post-commit error tracking buffer (a window-limited subset
+	// of FDD-reg instructions).
+	TrackPET
+	// TrackRegFile: π bit per register (all FDD via registers, including
+	// return-dead).
+	TrackRegFile
+	// TrackStoreBuffer: π bits through the pipeline to the store commit
+	// point (TDD via registers).
+	TrackStoreBuffer
+	// TrackMemory: π bits on caches and memory, signalling only at I/O
+	// (FDD and TDD via memory).
+	TrackMemory
+)
+
+var trackNames = [...]string{
+	"never", "pi-commit", "anti-pi", "pet", "pi-regfile", "pi-storebuf", "pi-memory",
+}
+
+// String names the tracking level.
+func (l TrackLevel) String() string {
+	if int(l) < len(trackNames) {
+		return trackNames[l]
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// BitACE is the ground truth for a single-bit strike: whether corrupting
+// the given field of an instruction with the given category changes the
+// program's outcome. Dead instructions keep ACE destination-specifier bits
+// (a strike there redirects the dead write onto a live register — hasDest
+// distinguishes dead stores, which have none); neutral instructions keep
+// ACE opcode bits (a strike there turns a no-op into a real operation).
+func BitACE(cat Category, field isa.Field, hasDest bool) bool {
+	switch cat {
+	case CatACE:
+		return true
+	case CatNeutral:
+		return field == isa.FieldOpcode
+	case CatFDDReg, CatFDDRet, CatTDDReg, CatFDDMem, CatTDDMem:
+		return hasDest && field == isa.FieldDest
+	default: // wrong-path, pred-false
+		return false
+	}
+}
+
+// Track returns the mechanism level required to cover false errors on this
+// category. Note CatFDDReg reports TrackRegFile: the PET buffer covers only
+// the window-limited subset, which the AVF report accounts separately.
+func (c Category) Track() TrackLevel {
+	switch c {
+	case CatWrongPath, CatPredFalse:
+		return TrackCommit
+	case CatNeutral:
+		return TrackAntiPi
+	case CatFDDReg, CatFDDRet:
+		return TrackRegFile
+	case CatTDDReg:
+		return TrackStoreBuffer
+	case CatFDDMem, CatTDDMem:
+		return TrackMemory
+	default:
+		return TrackNever
+	}
+}

@@ -1,0 +1,287 @@
+package ace
+
+import (
+	"softerror/internal/isa"
+)
+
+// Deadness is the result of dynamic dead-code discovery over a committed
+// instruction stream. It classifies every committed instruction into a
+// Category and records, for first-level dead instructions, the commit
+// distance from definition to overwrite — the quantity that determines
+// whether a PET buffer of a given size can prove the instruction dead.
+type Deadness struct {
+	// catBySeq maps a dynamic sequence number to its category; sequence
+	// numbers not present (e.g. wrong-path) are not stored.
+	catBySeq map[uint64]Category
+
+	// Counts tallies committed instructions per category.
+	Counts [NumCategories]uint64
+
+	// FDDRegDist holds, for each CatFDDReg instruction, the number of
+	// commits between it and the overwriting instruction. FDDRetDist and
+	// FDDMemDist hold the same for return-dead writes and dead stores.
+	FDDRegDist []int
+	FDDRetDist []int
+	FDDMemDist []int
+}
+
+// maxTrackedDepth bounds the call-depth bookkeeping for return-dead
+// detection; deeper nesting is clamped (a safe, conservative choice).
+const maxTrackedDepth = 64
+
+// perDef records def-use facts for one register definition (one committed
+// instruction with a destination).
+type perDef struct {
+	overwrite int32 // log index of the overwriting def; -1 if none by end
+	retDead   bool  // a return below the def's depth happened before overwrite
+	consumers []int32
+}
+
+// AnalyzeDeadness discovers dynamically dead instructions in a committed
+// instruction log (program order). The classification follows §4.1 of the
+// paper:
+//
+//   - a register write overwritten before any read is first-level dead
+//     (FDD), attributed to a procedure return when one intervened;
+//   - a register write whose every reader is itself dead is transitively
+//     dead (TDD);
+//   - a store whose memory value is overwritten before any load is dead,
+//     tracked via memory; instructions feeding only dead stores are TDD
+//     tracked via memory;
+//   - values never overwritten by the end of the log are conservatively
+//     live, as are stores never overwritten (matching the PET buffer's
+//     "absence of an overwriting instruction" rule).
+//
+// Reads by neutral instructions (no-ops, prefetches, hints) and by
+// predicated-false instructions do not make a value live: those readers
+// cannot affect the program's outcome.
+func AnalyzeDeadness(log []isa.Inst) *Deadness {
+	d := &Deadness{catBySeq: make(map[uint64]Category, len(log))}
+	if len(log) == 0 {
+		return d
+	}
+
+	defs := make([]perDef, len(log))
+	cats := make([]Category, len(log))
+
+	// regDef[r] is the log index of the live definition of register r, or
+	// -1. Memory tracking is per 8-byte-aligned address.
+	var regDef [isa.NumRegs]int32
+	for i := range regDef {
+		regDef[i] = -1
+	}
+	// Memory def-use, per 8-byte-aligned address: each store's consumers
+	// are the loads reading its address before the next store; the next
+	// store is its overwriter. The consumer/overwrite slots of defs are
+	// reused (stores have no register destination).
+	storeAt := make(map[uint64]int32) // addr -> pending store log index
+
+	// lastBelow[d] is the most recent log index at which the call depth
+	// was strictly below d; used to detect return-dead overwrites.
+	var lastBelow [maxTrackedDepth + 2]int32
+	for i := range lastBelow {
+		lastBelow[i] = -1
+	}
+	prevDepth := int(log[0].CallDepth)
+
+	use := func(r isa.Reg, consumer int32) {
+		if r == isa.RegNone {
+			return
+		}
+		if di := regDef[r]; di >= 0 {
+			defs[di].consumers = append(defs[di].consumers, consumer)
+		}
+	}
+
+	for i := range log {
+		in := &log[i]
+		idx := int32(i)
+
+		// Maintain return timestamps.
+		depth := int(in.CallDepth)
+		if depth > maxTrackedDepth {
+			depth = maxTrackedDepth
+		}
+		if depth < prevDepth {
+			for dd := depth + 1; dd <= prevDepth && dd < len(lastBelow); dd++ {
+				lastBelow[dd] = idx
+			}
+		}
+		prevDepth = depth
+
+		// Uses. Predicated-false instructions read only their guard;
+		// neutral instructions read nothing that matters.
+		if !in.Class.Neutral() {
+			use(in.PredGuard, idx)
+			if !in.PredFalse {
+				use(in.Src1, idx)
+				use(in.Src2, idx)
+			}
+		}
+
+		// Memory effects.
+		switch {
+		case in.Class == isa.ClassLoad && !in.PredFalse:
+			if si, ok := storeAt[in.Addr]; ok {
+				defs[si].consumers = append(defs[si].consumers, idx)
+			}
+		case in.Class == isa.ClassStore && !in.PredFalse:
+			if prev, ok := storeAt[in.Addr]; ok {
+				defs[prev].overwrite = idx
+			}
+			storeAt[in.Addr] = idx
+			defs[i].overwrite = -1
+		}
+
+		// Defs: close the previous definition of Dest.
+		if in.HasDest() {
+			r := in.Dest
+			if prev := regDef[r]; prev >= 0 {
+				defs[prev].overwrite = idx
+				defDepth := int(log[prev].CallDepth)
+				if defDepth > maxTrackedDepth {
+					defDepth = maxTrackedDepth
+				}
+				defs[prev].retDead = lastBelow[defDepth] > prev
+			}
+			regDef[r] = idx
+			defs[i].overwrite = -1
+		}
+	}
+
+	// Reverse pass: consumers are later in the log, so their categories
+	// are known when the producer is classified.
+	for i := len(log) - 1; i >= 0; i-- {
+		in := &log[i]
+		cats[i] = classifyOne(in, i, defs, cats)
+	}
+
+	for i := range log {
+		in := &log[i]
+		c := cats[i]
+		d.catBySeq[in.Seq] = c
+		d.Counts[c]++
+		switch c {
+		case CatFDDReg:
+			d.FDDRegDist = append(d.FDDRegDist, int(defs[i].overwrite)-i)
+		case CatFDDRet:
+			d.FDDRetDist = append(d.FDDRetDist, int(defs[i].overwrite)-i)
+		case CatFDDMem:
+			d.FDDMemDist = append(d.FDDMemDist, int(defs[i].overwrite)-i)
+		}
+	}
+	return d
+}
+
+// classifyOne assigns the category for one committed instruction given the
+// (already classified) categories of every later instruction.
+func classifyOne(in *isa.Inst, i int, defs []perDef, cats []Category) Category {
+	switch {
+	case in.WrongPath:
+		return CatWrongPath
+	case in.PredFalse:
+		return CatPredFalse
+	case in.Class.Neutral():
+		return CatNeutral
+	case in.Class == isa.ClassStore:
+		def := &defs[i]
+		if def.overwrite < 0 {
+			return CatACE // never overwritten: conservatively live
+		}
+		if len(def.consumers) == 0 {
+			return CatFDDMem // overwritten before any load
+		}
+		for _, ci := range def.consumers {
+			if !cats[ci].Dead() {
+				return CatACE // a live load consumed the value
+			}
+		}
+		return CatTDDMem // read only by dead loads
+	case in.HasDest():
+		def := &defs[i]
+		if def.overwrite < 0 {
+			return CatACE // live-out: conservatively live
+		}
+		if len(def.consumers) == 0 {
+			if def.retDead {
+				return CatFDDRet
+			}
+			return CatFDDReg
+		}
+		memTracked := false
+		for _, ci := range def.consumers {
+			cc := cats[ci]
+			if !cc.Dead() {
+				return CatACE // at least one live reader
+			}
+			if cc == CatFDDMem || cc == CatTDDMem {
+				memTracked = true
+			}
+		}
+		if memTracked {
+			return CatTDDMem
+		}
+		return CatTDDReg
+	default:
+		// Branches, calls, returns, I/O, destination-less instructions.
+		return CatACE
+	}
+}
+
+// Of returns the category recorded for the given dynamic instruction.
+// Wrong-path instructions (never committed) classify as CatWrongPath;
+// committed instructions missing from the log (e.g. past its end) are
+// conservatively CatACE.
+func (d *Deadness) Of(in *isa.Inst) Category {
+	if in.WrongPath {
+		return CatWrongPath
+	}
+	if c, ok := d.catBySeq[in.Seq]; ok {
+		return c
+	}
+	return CatACE
+}
+
+// Compact releases the per-instruction classification map, keeping only
+// the aggregate counts and FDD distance populations. After Compact, Of
+// answers conservatively (CatACE) for committed instructions. Use it when
+// memoising many analyses whose per-instruction detail is no longer needed.
+func (d *Deadness) Compact() { d.catBySeq = nil }
+
+// Committed returns the number of classified committed instructions.
+func (d *Deadness) Committed() uint64 {
+	var n uint64
+	for _, c := range d.Counts {
+		n += c
+	}
+	return n
+}
+
+// DeadFraction returns the fraction of committed instructions that are
+// dynamically dead (any dead category); the paper reports ~20% across its
+// binaries.
+func (d *Deadness) DeadFraction() float64 {
+	total := d.Committed()
+	if total == 0 {
+		return 0
+	}
+	dead := d.Counts[CatFDDReg] + d.Counts[CatFDDRet] + d.Counts[CatTDDReg] +
+		d.Counts[CatFDDMem] + d.Counts[CatTDDMem]
+	return float64(dead) / float64(total)
+}
+
+// PETCoverage returns the fraction of a dead population (given as def-to-
+// overwrite distances) provable by a PET buffer with the given number of
+// entries: exactly those whose overwrite lands within the buffer window.
+func PETCoverage(distances []int, entries int) float64 {
+	if len(distances) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, dist := range distances {
+		if dist <= entries {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(distances))
+}

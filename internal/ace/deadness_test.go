@@ -1,0 +1,401 @@
+package ace
+
+import (
+	"testing"
+
+	"softerror/internal/isa"
+)
+
+// logBuilder assembles committed-instruction logs for deadness tests.
+type logBuilder struct {
+	log   []isa.Inst
+	seq   uint64
+	depth uint8
+}
+
+func (b *logBuilder) add(in isa.Inst) int {
+	in.Seq = b.seq
+	in.CallDepth = b.depth
+	b.seq++
+	b.log = append(b.log, in)
+	return len(b.log) - 1
+}
+
+func (b *logBuilder) alu(dest, src1, src2 isa.Reg) int {
+	return b.add(isa.Inst{Class: isa.ClassALU, Dest: dest, Src1: src1, Src2: src2, PredGuard: isa.RegNone})
+}
+
+func (b *logBuilder) load(dest isa.Reg, addr uint64) int {
+	return b.add(isa.Inst{Class: isa.ClassLoad, Dest: dest, Src1: isa.IntReg(1), Src2: isa.RegNone, PredGuard: isa.RegNone, Addr: addr})
+}
+
+func (b *logBuilder) store(val isa.Reg, addr uint64) int {
+	return b.add(isa.Inst{Class: isa.ClassStore, Dest: isa.RegNone, Src1: val, Src2: isa.RegNone, PredGuard: isa.RegNone, Addr: addr})
+}
+
+func (b *logBuilder) nop() int {
+	return b.add(isa.Inst{Class: isa.ClassNop, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, PredGuard: isa.RegNone})
+}
+
+func (b *logBuilder) call() int {
+	i := b.add(isa.Inst{Class: isa.ClassCall, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, PredGuard: isa.RegNone})
+	b.depth++
+	return i
+}
+
+func (b *logBuilder) ret() int {
+	b.depth--
+	return b.add(isa.Inst{Class: isa.ClassReturn, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, PredGuard: isa.RegNone})
+}
+
+func catOf(t *testing.T, d *Deadness, log []isa.Inst, idx int) Category {
+	t.Helper()
+	return d.Of(&log[idx])
+}
+
+func TestFDDRegOverwriteWithoutRead(t *testing.T) {
+	b := &logBuilder{}
+	dead := b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone)
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone) // overwrite, no read
+	b.alu(isa.IntReg(9), isa.IntReg(5), isa.RegNone) // keep second write live... needs overwrite too
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, dead); got != CatFDDReg {
+		t.Fatalf("overwritten-unread write classified %v, want fdd-reg", got)
+	}
+}
+
+func TestLiveReadBeforeOverwrite(t *testing.T) {
+	b := &logBuilder{}
+	def := b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone)
+	use := b.alu(isa.IntReg(6), isa.IntReg(5), isa.RegNone)
+	b.store(isa.IntReg(6), 0x100) // live store keeps the user live
+	b.load(isa.IntReg(7), 0x100)  // the store is read
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone)
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, def); got != CatACE {
+		t.Fatalf("read-then-overwritten write classified %v, want ace", got)
+	}
+	if got := catOf(t, d, b.log, use); got != CatACE {
+		t.Fatalf("consumer feeding live store classified %v, want ace", got)
+	}
+}
+
+func TestLiveOutConservative(t *testing.T) {
+	b := &logBuilder{}
+	def := b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone)
+	b.nop()
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, def); got != CatACE {
+		t.Fatalf("never-overwritten write classified %v, want ace (live-out)", got)
+	}
+}
+
+func TestTDDRegChain(t *testing.T) {
+	b := &logBuilder{}
+	producer := b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone)
+	terminal := b.alu(isa.IntReg(6), isa.IntReg(5), isa.RegNone) // reads 5, writes 6
+	b.alu(isa.IntReg(6), isa.IntReg(2), isa.RegNone)             // overwrite 6: terminal FDD
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone)             // overwrite 5
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, terminal); got != CatFDDReg {
+		t.Fatalf("terminal classified %v, want fdd-reg", got)
+	}
+	if got := catOf(t, d, b.log, producer); got != CatTDDReg {
+		t.Fatalf("producer classified %v, want tdd-reg", got)
+	}
+}
+
+func TestTwoLevelTDDChain(t *testing.T) {
+	b := &logBuilder{}
+	root := b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone)
+	mid := b.alu(isa.IntReg(6), isa.IntReg(5), isa.RegNone)
+	term := b.alu(isa.IntReg(7), isa.IntReg(6), isa.RegNone)
+	b.alu(isa.IntReg(7), isa.IntReg(2), isa.RegNone)
+	b.alu(isa.IntReg(6), isa.IntReg(2), isa.RegNone)
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone)
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, term); got != CatFDDReg {
+		t.Fatalf("terminal = %v, want fdd-reg", got)
+	}
+	if got := catOf(t, d, b.log, mid); got != CatTDDReg {
+		t.Fatalf("mid = %v, want tdd-reg", got)
+	}
+	if got := catOf(t, d, b.log, root); got != CatTDDReg {
+		t.Fatalf("root = %v, want tdd-reg", got)
+	}
+}
+
+func TestMixedConsumersStayLive(t *testing.T) {
+	b := &logBuilder{}
+	def := b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone)
+	deadUse := b.alu(isa.IntReg(6), isa.IntReg(5), isa.RegNone)
+	b.alu(isa.IntReg(6), isa.IntReg(2), isa.RegNone) // kill dead use
+	liveUse := b.alu(isa.IntReg(7), isa.IntReg(5), isa.RegNone)
+	b.store(isa.IntReg(7), 0x200)
+	b.load(isa.IntReg(8), 0x200)
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone) // overwrite def
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, deadUse); got != CatFDDReg {
+		t.Fatalf("dead consumer = %v, want fdd-reg", got)
+	}
+	if got := catOf(t, d, b.log, liveUse); got != CatACE {
+		t.Fatalf("live consumer = %v, want ace", got)
+	}
+	if got := catOf(t, d, b.log, def); got != CatACE {
+		t.Fatalf("def with one live reader = %v, want ace", got)
+	}
+}
+
+func TestDeadStoreAndTDDMem(t *testing.T) {
+	b := &logBuilder{}
+	producer := b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone)
+	deadStore := b.store(isa.IntReg(5), 0x300)
+	b.store(isa.IntReg(2), 0x300)                    // overwrite memory, no load
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone) // overwrite r5
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, deadStore); got != CatFDDMem {
+		t.Fatalf("dead store = %v, want fdd-mem", got)
+	}
+	if got := catOf(t, d, b.log, producer); got != CatTDDMem {
+		t.Fatalf("producer of dead store = %v, want tdd-mem", got)
+	}
+}
+
+func TestStoreReadStaysLive(t *testing.T) {
+	b := &logBuilder{}
+	st := b.store(isa.IntReg(1), 0x400)
+	ld := b.load(isa.IntReg(5), 0x400)
+	b.store(isa.IntReg(2), 0x400)
+	b.alu(isa.IntReg(6), isa.IntReg(5), isa.RegNone) // live-out consumer
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, st); got != CatACE {
+		t.Fatalf("read store = %v, want ace", got)
+	}
+	if got := catOf(t, d, b.log, ld); got != CatACE {
+		t.Fatalf("load with live consumer = %v, want ace", got)
+	}
+}
+
+func TestStoreReadOnlyByDeadLoadIsTDDMem(t *testing.T) {
+	// A store whose only reader is a load whose own result dies is
+	// transitively dead via memory (§4.1): only full memory tracking can
+	// cover it.
+	b := &logBuilder{}
+	st := b.store(isa.IntReg(1), 0x400)
+	ld := b.load(isa.IntReg(5), 0x400)
+	b.store(isa.IntReg(2), 0x400)                    // overwrite memory
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone) // overwrite load result unread
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, ld); got != CatFDDReg {
+		t.Fatalf("dead load = %v, want fdd-reg", got)
+	}
+	if got := catOf(t, d, b.log, st); got != CatTDDMem {
+		t.Fatalf("store read only by dead load = %v, want tdd-mem", got)
+	}
+}
+
+func TestFinalStoreConservativelyLive(t *testing.T) {
+	b := &logBuilder{}
+	st := b.store(isa.IntReg(1), 0x500)
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, st); got != CatACE {
+		t.Fatalf("never-overwritten store = %v, want ace", got)
+	}
+}
+
+func TestReturnDeadLocal(t *testing.T) {
+	b := &logBuilder{}
+	b.call()
+	local := b.alu(isa.IntReg(40), isa.IntReg(1), isa.RegNone) // written at depth 1
+	b.ret()
+	b.call()
+	b.alu(isa.IntReg(40), isa.IntReg(2), isa.RegNone) // overwritten in a later frame
+	b.ret()
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, local); got != CatFDDRet {
+		t.Fatalf("return-dead local = %v, want fdd-ret", got)
+	}
+}
+
+func TestSameFrameOverwriteIsPlainFDD(t *testing.T) {
+	b := &logBuilder{}
+	b.call()
+	first := b.alu(isa.IntReg(40), isa.IntReg(1), isa.RegNone)
+	b.alu(isa.IntReg(40), isa.IntReg(2), isa.RegNone) // same frame, no return between
+	b.ret()
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, first); got != CatFDDReg {
+		t.Fatalf("same-frame overwrite = %v, want fdd-reg", got)
+	}
+}
+
+func TestNeutralClassification(t *testing.T) {
+	b := &logBuilder{}
+	n := b.nop()
+	pf := b.add(isa.Inst{Class: isa.ClassPrefetch, Dest: isa.RegNone, Src1: isa.IntReg(3), Src2: isa.RegNone, PredGuard: isa.RegNone, Addr: 0x600})
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, n); got != CatNeutral {
+		t.Fatalf("nop = %v, want neutral", got)
+	}
+	if got := catOf(t, d, b.log, pf); got != CatNeutral {
+		t.Fatalf("prefetch = %v, want neutral", got)
+	}
+}
+
+func TestPrefetchReadDoesNotKeepAlive(t *testing.T) {
+	b := &logBuilder{}
+	def := b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone)
+	b.add(isa.Inst{Class: isa.ClassPrefetch, Dest: isa.RegNone, Src1: isa.IntReg(5), Src2: isa.RegNone, PredGuard: isa.RegNone, Addr: 0x700})
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone)
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, def); got != CatFDDReg {
+		t.Fatalf("value read only by prefetch = %v, want fdd-reg", got)
+	}
+}
+
+func TestPredFalseClassificationAndUses(t *testing.T) {
+	b := &logBuilder{}
+	// A compare producing p1, read by a pred-false instruction: the guard
+	// read is a real use (it decided the instruction did nothing).
+	cmp := b.add(isa.Inst{Class: isa.ClassALU, Dest: isa.PredReg(1), Src1: isa.IntReg(1), Src2: isa.IntReg(2), PredGuard: isa.RegNone})
+	val := b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone)
+	pf := b.add(isa.Inst{Class: isa.ClassALU, Dest: isa.IntReg(6), Src1: isa.IntReg(5), Src2: isa.RegNone, PredGuard: isa.PredReg(1), PredFalse: true})
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone) // overwrite val
+	b.add(isa.Inst{Class: isa.ClassALU, Dest: isa.PredReg(1), Src1: isa.IntReg(1), Src2: isa.RegNone, PredGuard: isa.RegNone})
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, pf); got != CatPredFalse {
+		t.Fatalf("pred-false inst = %v, want pred-false", got)
+	}
+	// The pred-false instruction's data source is NOT a real read.
+	if got := catOf(t, d, b.log, val); got != CatFDDReg {
+		t.Fatalf("value read only by pred-false inst = %v, want fdd-reg", got)
+	}
+	// But its guard read is real: the compare stays live.
+	if got := catOf(t, d, b.log, cmp); got != CatACE {
+		t.Fatalf("compare read by pred-false guard = %v, want ace", got)
+	}
+}
+
+func TestBranchesAreACE(t *testing.T) {
+	b := &logBuilder{}
+	br := b.add(isa.Inst{Class: isa.ClassBranch, Dest: isa.RegNone, Src1: isa.IntReg(1), Src2: isa.RegNone, PredGuard: isa.RegNone, Taken: true})
+	d := AnalyzeDeadness(b.log)
+	if got := catOf(t, d, b.log, br); got != CatACE {
+		t.Fatalf("branch = %v, want ace", got)
+	}
+}
+
+func TestOfFallbacks(t *testing.T) {
+	d := AnalyzeDeadness(nil)
+	wp := isa.Inst{Seq: 99, WrongPath: true, Class: isa.ClassALU}
+	if d.Of(&wp) != CatWrongPath {
+		t.Error("wrong-path fallback broken")
+	}
+	unknown := isa.Inst{Seq: 42, Class: isa.ClassALU}
+	if d.Of(&unknown) != CatACE {
+		t.Error("unknown-seq fallback should be conservative ACE")
+	}
+}
+
+func TestCountsAndDeadFraction(t *testing.T) {
+	b := &logBuilder{}
+	b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone) // fdd (overwritten below)
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone) // live-out
+	b.nop()
+	d := AnalyzeDeadness(b.log)
+	if d.Committed() != 3 {
+		t.Fatalf("Committed = %d, want 3", d.Committed())
+	}
+	if d.Counts[CatFDDReg] != 1 || d.Counts[CatACE] != 1 || d.Counts[CatNeutral] != 1 {
+		t.Fatalf("Counts = %v", d.Counts)
+	}
+	if got := d.DeadFraction(); got != 1.0/3 {
+		t.Fatalf("DeadFraction = %v, want 1/3", got)
+	}
+	empty := AnalyzeDeadness(nil)
+	if empty.DeadFraction() != 0 {
+		t.Error("empty deadness should report 0 dead fraction")
+	}
+}
+
+func TestFDDDistances(t *testing.T) {
+	b := &logBuilder{}
+	b.alu(isa.IntReg(5), isa.IntReg(1), isa.RegNone) // idx 0
+	b.nop()                                          // idx 1
+	b.nop()                                          // idx 2
+	b.alu(isa.IntReg(5), isa.IntReg(2), isa.RegNone) // idx 3: overwrite at distance 3
+	d := AnalyzeDeadness(b.log)
+	if len(d.FDDRegDist) != 1 || d.FDDRegDist[0] != 3 {
+		t.Fatalf("FDDRegDist = %v, want [3]", d.FDDRegDist)
+	}
+}
+
+func TestPETCoverage(t *testing.T) {
+	dists := []int{1, 10, 100, 1000}
+	cases := []struct {
+		entries int
+		want    float64
+	}{
+		{0, 0}, {1, 0.25}, {10, 0.5}, {100, 0.75}, {1000, 1}, {5000, 1},
+	}
+	for _, c := range cases {
+		if got := PETCoverage(dists, c.entries); got != c.want {
+			t.Errorf("PETCoverage(%d) = %v, want %v", c.entries, got, c.want)
+		}
+	}
+	if PETCoverage(nil, 100) != 0 {
+		t.Error("empty population coverage should be 0")
+	}
+}
+
+func TestCategoryHelpers(t *testing.T) {
+	if CatACE.UnACE() {
+		t.Error("ACE must not be un-ACE")
+	}
+	for _, c := range []Category{CatWrongPath, CatPredFalse, CatNeutral, CatFDDReg, CatFDDRet, CatTDDReg, CatFDDMem, CatTDDMem} {
+		if !c.UnACE() {
+			t.Errorf("%v should be un-ACE", c)
+		}
+	}
+	for _, c := range []Category{CatFDDReg, CatFDDRet, CatTDDReg, CatFDDMem, CatTDDMem} {
+		if !c.Dead() {
+			t.Errorf("%v should be dead", c)
+		}
+	}
+	if CatWrongPath.Dead() || CatNeutral.Dead() || CatACE.Dead() {
+		t.Error("non-dead category reported dead")
+	}
+}
+
+func TestTrackLevels(t *testing.T) {
+	want := map[Category]TrackLevel{
+		CatACE:       TrackNever,
+		CatWrongPath: TrackCommit,
+		CatPredFalse: TrackCommit,
+		CatNeutral:   TrackAntiPi,
+		CatFDDReg:    TrackRegFile,
+		CatFDDRet:    TrackRegFile,
+		CatTDDReg:    TrackStoreBuffer,
+		CatFDDMem:    TrackMemory,
+		CatTDDMem:    TrackMemory,
+	}
+	for c, lvl := range want {
+		if got := c.Track(); got != lvl {
+			t.Errorf("%v.Track() = %v, want %v", c, got, lvl)
+		}
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for c := Category(0); c < NumCategories; c++ {
+		if c.String() == "" {
+			t.Errorf("category %d has empty name", c)
+		}
+	}
+	if Category(99).String() == "" || TrackLevel(99).String() == "" {
+		t.Error("out-of-range values should still render")
+	}
+	if TrackMemory.String() != "pi-memory" {
+		t.Errorf("TrackMemory = %q", TrackMemory.String())
+	}
+}

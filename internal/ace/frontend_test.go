@@ -1,0 +1,80 @@
+package ace
+
+import (
+	"testing"
+
+	"softerror/internal/cache"
+	"softerror/internal/pipeline"
+	"softerror/internal/workload"
+)
+
+func TestFrontEndAnalysis(t *testing.T) {
+	gen := workload.MustNew(workload.Default())
+	mem := cache.MustNewDefault()
+	workload.WarmCaches(mem)
+	p := pipeline.MustNew(pipeline.DefaultConfig(), gen, mem)
+	tr := p.Run(30000, true)
+	dead := AnalyzeDeadness(tr.CommitLog)
+
+	fe := AnalyzeFrontEnd(tr, dead)
+	iq := AnalyzeWith(tr, dead)
+
+	if tr.FrontEndCap <= 0 {
+		t.Fatal("trace missing front-end capacity")
+	}
+	if len(tr.FrontEnd) == 0 {
+		t.Fatal("no front-end residencies recorded")
+	}
+	// Classes partition capacity.
+	sum := fe.IdleBC + fe.NeverReadBC + fe.ExACEBC + fe.ACEBC + fe.UnACETotalBC()
+	if sum != fe.TotalBC() {
+		t.Fatalf("front-end classes sum to %d, want %d", sum, fe.TotalBC())
+	}
+	if fe.SDCAVF() <= 0 || fe.SDCAVF() >= 1 {
+		t.Fatalf("front-end SDC AVF = %v out of (0,1)", fe.SDCAVF())
+	}
+	// The fetch buffer holds instructions only for the front-end latency,
+	// while IQ entries pool behind stalls: per-entry exposure is shorter,
+	// and the buffer has no replay window, so its Ex-ACE share is zero
+	// (delivery evicts immediately).
+	if fe.ExACEBC != 0 {
+		t.Fatalf("front-end Ex-ACE = %d, want 0 (deliver evicts)", fe.ExACEBC)
+	}
+	// Both structures see the same workload mix, so both should have
+	// wrong-path and neutral un-ACE content.
+	if fe.UnACEBC[CatWrongPath] == 0 || fe.UnACEBC[CatNeutral] == 0 {
+		t.Fatal("front-end missing un-ACE categories")
+	}
+	_ = iq
+}
+
+func TestFrontEndResidencyBounds(t *testing.T) {
+	gen := workload.MustNew(workload.Default())
+	mem := cache.MustNewDefault()
+	workload.WarmCaches(mem)
+	cfg := pipeline.DefaultConfig()
+	cfg.SquashTrigger = pipeline.TriggerL1Miss
+	p := pipeline.MustNew(cfg, gen, mem)
+	tr := p.Run(30000, true)
+
+	var occ uint64
+	for _, r := range tr.FrontEnd {
+		if r.Evict < r.Enq {
+			t.Fatalf("front-end residency inverted: %+v", r)
+		}
+		occ += r.Occupancy()
+	}
+	if max := tr.Cycles * uint64(tr.FrontEndCap); occ > max {
+		t.Fatalf("front-end occupancy %d exceeds capacity %d", occ, max)
+	}
+	// Squashing must create never-read (flushed) front-end copies.
+	flushed := 0
+	for _, r := range tr.FrontEnd {
+		if r.Squashed {
+			flushed++
+		}
+	}
+	if flushed == 0 {
+		t.Fatal("squash run produced no flushed front-end residencies")
+	}
+}

@@ -1,0 +1,147 @@
+// Package bpred provides branch-prediction models for the front end.
+//
+// The workload generator needs to decide, per dynamic branch, whether the
+// front end fetched down the wrong path — that decision controls the
+// wrong-path occupancy of the instruction queue, one of the paper's three
+// false-DUE sources. Two families of models are provided:
+//
+//   - Table predictors (Bimodal, Gshare) predict direction from branch
+//     history, giving organic, phase-dependent misprediction behaviour.
+//   - Statistical mispredicts at a calibrated fixed rate, used to pin a
+//     benchmark profile at its target wrong-path fraction.
+package bpred
+
+import (
+	"fmt"
+
+	"softerror/internal/rng"
+)
+
+// Model is a branch-direction predictor. One call per dynamic branch both
+// predicts and trains.
+type Model interface {
+	// Mispredict reports whether the front end mispredicted this branch,
+	// given its PC and actual direction, and trains the model.
+	Mispredict(pc uint64, taken bool) bool
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// counter is a 2-bit saturating counter: 0-1 predict not-taken, 2-3 taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) train(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a classic PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal builds a bimodal predictor with 2^bits counters, initialised
+// weakly taken.
+func NewBimodal(bits int) *Bimodal {
+	if bits < 1 || bits > 24 {
+		panic(fmt.Sprintf("bpred: bimodal bits %d out of [1,24]", bits))
+	}
+	t := make([]counter, 1<<bits)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: uint64(len(t) - 1)}
+}
+
+// Name implements Model.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", len(b.table)) }
+
+// Mispredict implements Model.
+func (b *Bimodal) Mispredict(pc uint64, taken bool) bool {
+	idx := (pc >> 2) & b.mask
+	pred := b.table[idx].taken()
+	b.table[idx] = b.table[idx].train(taken)
+	return pred != taken
+}
+
+// Gshare XORs global branch history into the table index (McFarling, 1993).
+type Gshare struct {
+	table    []counter
+	mask     uint64
+	hist     uint64
+	histMask uint64
+}
+
+// NewGshare builds a gshare predictor with 2^tableBits counters and
+// histBits of global history.
+func NewGshare(tableBits, histBits int) *Gshare {
+	if tableBits < 1 || tableBits > 24 {
+		panic(fmt.Sprintf("bpred: gshare table bits %d out of [1,24]", tableBits))
+	}
+	if histBits < 1 || histBits > 32 {
+		panic(fmt.Sprintf("bpred: gshare history bits %d out of [1,32]", histBits))
+	}
+	t := make([]counter, 1<<tableBits)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Gshare{
+		table:    t,
+		mask:     uint64(len(t) - 1),
+		histMask: uint64(1)<<histBits - 1,
+	}
+}
+
+// Name implements Model.
+func (g *Gshare) Name() string { return fmt.Sprintf("gshare-%d", len(g.table)) }
+
+// Mispredict implements Model.
+func (g *Gshare) Mispredict(pc uint64, taken bool) bool {
+	idx := ((pc >> 2) ^ g.hist) & g.mask
+	pred := g.table[idx].taken()
+	g.table[idx] = g.table[idx].train(taken)
+	g.hist = ((g.hist << 1) | boolBit(taken)) & g.histMask
+	return pred != taken
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Statistical mispredicts at a fixed rate, independent of the branch. It
+// pins a workload at a calibrated wrong-path fraction.
+type Statistical struct {
+	rate float64
+	s    *rng.Stream
+}
+
+// NewStatistical builds a statistical model mispredicting with the given
+// rate in [0,1], drawing from stream s.
+func NewStatistical(rate float64, s *rng.Stream) *Statistical {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("bpred: rate %v out of [0,1]", rate))
+	}
+	return &Statistical{rate: rate, s: s}
+}
+
+// Name implements Model.
+func (p *Statistical) Name() string { return fmt.Sprintf("statistical-%.3f", p.rate) }
+
+// Mispredict implements Model.
+func (p *Statistical) Mispredict(pc uint64, taken bool) bool {
+	return p.s.Bool(p.rate)
+}

@@ -1,0 +1,215 @@
+// Package chip composes structure-level vulnerability measurements into
+// processor-level SDC and DUE rates — the §2 framework of the paper:
+//
+//	SDC rate = Σ_d raw_d × SDC-AVF_d        DUE rate = Σ_d raw_d × DUE-AVF_d
+//
+// A Budget lists the vulnerable structures with their bit counts, measured
+// AVFs, and chosen protection; Evaluate produces the chip's rates and
+// checks them against vendor-style MTTF targets (the paper cites Bossen's
+// industry targets of ~1000-year SDC and 10-25-year DUE MTTFs). Plan
+// searches the protection design space for the cheapest mix that meets the
+// targets, where "cost" is the classic area proxy: parity adds ~3% storage
+// and ECC ~12%, duplication 100%.
+package chip
+
+import (
+	"fmt"
+	"sort"
+
+	"softerror/internal/cache"
+	"softerror/internal/serate"
+)
+
+// Structure is one vulnerable device population on the chip.
+type Structure struct {
+	Name string
+	// Bits is the structure's storage size in bits.
+	Bits float64
+	// SDCAVF and FalseDUEAVF are the structure's measured vulnerability
+	// factors: SDCAVF is the ACE fraction (a strike changes the outcome),
+	// FalseDUEAVF the read-but-un-ACE fraction that detection would flag.
+	SDCAVF      float64
+	FalseDUEAVF float64
+	// Protection is the applied scheme.
+	Protection cache.Protection
+	// Tracking marks π-bit false-DUE coverage deployed on top of parity;
+	// it scales the structure's false-DUE contribution by (1 - Tracking).
+	Tracking float64
+}
+
+// Contribution returns the structure's SDC and DUE FIT rates at the given
+// raw per-bit rate.
+func (s *Structure) Contribution(rawFITPerBit float64) (sdc, due serate.FIT) {
+	raw := serate.FIT(rawFITPerBit * s.Bits)
+	switch s.Protection {
+	case cache.ProtNone:
+		return serate.FIT(float64(raw) * s.SDCAVF), 0
+	case cache.ProtParity:
+		falseDUE := s.FalseDUEAVF * (1 - s.Tracking)
+		return 0, serate.FIT(float64(raw) * (s.SDCAVF + falseDUE))
+	default: // ECC corrects single-bit faults
+		return 0, 0
+	}
+}
+
+// areaOverhead is the storage-cost proxy of each protection scheme.
+func areaOverhead(p cache.Protection) float64 {
+	switch p {
+	case cache.ProtParity:
+		return 0.03
+	case cache.ProtECC:
+		return 0.12
+	default:
+		return 0
+	}
+}
+
+// Budget is the chip's structure inventory plus the environment.
+type Budget struct {
+	Structures []Structure
+	// RawFITPerBit is the technology's raw soft-error rate per bit.
+	RawFITPerBit float64
+	// SDCTargetYears and DUETargetYears are the vendor MTTF goals.
+	SDCTargetYears float64
+	DUETargetYears float64
+}
+
+// Evaluation is the chip-level outcome.
+type Evaluation struct {
+	SDC serate.FIT
+	DUE serate.FIT
+	// MeetsSDC and MeetsDUE report target compliance.
+	MeetsSDC bool
+	MeetsDUE bool
+	// AreaCost is the summed protection storage overhead, weighted by
+	// structure size and normalised to total protected bits.
+	AreaCost float64
+}
+
+// Evaluate composes the budget.
+func (b *Budget) Evaluate() (Evaluation, error) {
+	if b.RawFITPerBit <= 0 {
+		return Evaluation{}, fmt.Errorf("chip: RawFITPerBit must be positive")
+	}
+	if len(b.Structures) == 0 {
+		return Evaluation{}, fmt.Errorf("chip: no structures")
+	}
+	var ev Evaluation
+	var totalBits, costBits float64
+	for i := range b.Structures {
+		s := &b.Structures[i]
+		if s.Bits <= 0 {
+			return Evaluation{}, fmt.Errorf("chip: structure %q has no bits", s.Name)
+		}
+		if s.Tracking < 0 || s.Tracking > 1 {
+			return Evaluation{}, fmt.Errorf("chip: structure %q tracking out of [0,1]", s.Name)
+		}
+		sdc, due := s.Contribution(b.RawFITPerBit)
+		ev.SDC += sdc
+		ev.DUE += due
+		totalBits += s.Bits
+		costBits += s.Bits * areaOverhead(s.Protection)
+	}
+	if totalBits > 0 {
+		ev.AreaCost = costBits / totalBits
+	}
+	ev.MeetsSDC = b.SDCTargetYears <= 0 || ev.SDC.MTTFYears() >= b.SDCTargetYears
+	ev.MeetsDUE = b.DUETargetYears <= 0 || ev.DUE.MTTFYears() >= b.DUETargetYears
+	return ev, nil
+}
+
+// Plan searches the protection design space — every structure may be left
+// unprotected, parity-protected (optionally with full π-bit tracking), or
+// ECC-corrected — and returns the cheapest assignment (by AreaCost, ties
+// broken by lower total FIT) that meets both targets. It returns an error
+// when no assignment does.
+func (b *Budget) Plan() (*Budget, Evaluation, error) {
+	options := []struct {
+		prot     cache.Protection
+		tracking float64
+	}{
+		{cache.ProtNone, 0},
+		{cache.ProtParity, 0},
+		{cache.ProtParity, 1},
+		{cache.ProtECC, 0},
+	}
+	n := len(b.Structures)
+	if n > 12 {
+		return nil, Evaluation{}, fmt.Errorf("chip: plan supports up to 12 structures, got %d", n)
+	}
+	assign := make([]int, n)
+	var best *Budget
+	var bestEv Evaluation
+	var try func(i int) error
+	try = func(i int) error {
+		if i == n {
+			cand := *b
+			cand.Structures = append([]Structure(nil), b.Structures...)
+			for k, a := range assign {
+				cand.Structures[k].Protection = options[a].prot
+				cand.Structures[k].Tracking = options[a].tracking
+			}
+			ev, err := cand.Evaluate()
+			if err != nil {
+				return err
+			}
+			if !ev.MeetsSDC || !ev.MeetsDUE {
+				return nil
+			}
+			if best == nil || better(ev, bestEv) {
+				best, bestEv = &cand, ev
+			}
+			return nil
+		}
+		for a := range options {
+			assign[i] = a
+			if err := try(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := try(0); err != nil {
+		return nil, Evaluation{}, err
+	}
+	if best == nil {
+		return nil, Evaluation{}, fmt.Errorf("chip: no protection mix meets the targets")
+	}
+	return best, bestEv, nil
+}
+
+func better(a, b Evaluation) bool {
+	if a.AreaCost != b.AreaCost {
+		return a.AreaCost < b.AreaCost
+	}
+	return float64(a.SDC+a.DUE) < float64(b.SDC+b.DUE)
+}
+
+// Describe renders the budget's per-structure assignments, sorted by
+// contribution, for reports.
+func (b *Budget) Describe() []string {
+	type line struct {
+		text string
+		fit  float64
+	}
+	var lines []line
+	for i := range b.Structures {
+		s := &b.Structures[i]
+		sdc, due := s.Contribution(b.RawFITPerBit)
+		scheme := s.Protection.String()
+		if s.Tracking > 0 {
+			scheme += fmt.Sprintf("+tracking(%.0f%%)", 100*s.Tracking)
+		}
+		lines = append(lines, line{
+			text: fmt.Sprintf("%s: %s, SDC %.3g FIT, DUE %.3g FIT",
+				s.Name, scheme, float64(sdc), float64(due)),
+			fit: float64(sdc + due),
+		})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].fit > lines[j].fit })
+	out := make([]string, len(lines))
+	for i, l := range lines {
+		out[i] = l.text
+	}
+	return out
+}

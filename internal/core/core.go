@@ -1,0 +1,167 @@
+// Package core is the library façade: it wires a synthetic workload, the
+// cache hierarchy, the pipeline, the ACE analysis and the fault-injection
+// machinery into single-call experiments, and implements the paper's
+// evaluation drivers (Table 1, Figures 1-4, the §4.1 occupancy breakdown,
+// and the fetch-throttling ablation).
+package core
+
+import (
+	"fmt"
+
+	"softerror/internal/ace"
+	"softerror/internal/cache"
+	"softerror/internal/pipeline"
+	"softerror/internal/workload"
+)
+
+// Policy selects the exposure-reduction configuration under study — the
+// rows of the paper's Table 1, plus the fetch-throttling action studied in
+// §3.1.
+type Policy uint8
+
+const (
+	// PolicyBaseline runs without exposure reduction.
+	PolicyBaseline Policy = iota
+	// PolicySquashL1 squashes the IQ on loads that miss the L1 cache.
+	PolicySquashL1
+	// PolicySquashL0 squashes the IQ on loads that miss the L0 cache.
+	PolicySquashL0
+	// PolicyThrottleL1 stalls fetch (no squash) on L1 misses.
+	PolicyThrottleL1
+	// PolicyThrottleL0 stalls fetch (no squash) on L0 misses.
+	PolicyThrottleL0
+
+	// NumPolicies is the number of policies.
+	NumPolicies = iota
+)
+
+var policyNames = [NumPolicies]string{
+	"no squashing", "squash on L1 load misses", "squash on L0 load misses",
+	"throttle on L1 load misses", "throttle on L0 load misses",
+}
+
+// String names the policy as in Table 1.
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Apply configures a pipeline for the policy.
+func (p Policy) Apply(cfg *pipeline.Config) {
+	cfg.SquashTrigger = pipeline.TriggerNone
+	cfg.ThrottleTrigger = pipeline.TriggerNone
+	switch p {
+	case PolicySquashL1:
+		cfg.SquashTrigger = pipeline.TriggerL1Miss
+	case PolicySquashL0:
+		cfg.SquashTrigger = pipeline.TriggerL0Miss
+	case PolicyThrottleL1:
+		cfg.ThrottleTrigger = pipeline.TriggerL1Miss
+	case PolicyThrottleL0:
+		cfg.ThrottleTrigger = pipeline.TriggerL0Miss
+	}
+}
+
+// Config parameterises one simulation.
+type Config struct {
+	// Workload is the synthetic program profile.
+	Workload workload.Params
+	// Pipeline is the core configuration; zero value means
+	// pipeline.DefaultConfig().
+	Pipeline pipeline.Config
+	// Commits is how many instructions to commit (default 100,000 —
+	// one thousandth of the paper's SimPoint length, enough for the AVF
+	// integrals to stabilise on a laptop-scale run).
+	Commits uint64
+	// SkipWarm skips pre-warming the cache hierarchy. The paper measures
+	// slices after skipping billions of instructions, so warm caches are
+	// the faithful default.
+	SkipWarm bool
+	// KeepTrace retains the full pipeline trace (residencies and commit
+	// log) on the Result, as needed for fault-injection campaigns. Off by
+	// default: traces are large.
+	KeepTrace bool
+	// RegFile additionally computes the architectural register files'
+	// vulnerability report (the paper's closing "other structures"
+	// extension).
+	RegFile bool
+}
+
+// DefaultCommits is the default per-run commit count.
+const DefaultCommits = 100_000
+
+// Result is the distilled outcome of one simulation.
+type Result struct {
+	// Name echoes the workload name.
+	Name string
+	// IPC is committed instructions per cycle.
+	IPC float64
+	// Report is the integrated ACE/AVF analysis.
+	Report *ace.Report
+	// Cycles, Commits, Squashes, Refetches and ThrottleEvents summarise
+	// the run.
+	Cycles         uint64
+	Commits        uint64
+	Squashes       uint64
+	Refetches      uint64
+	ThrottleEvents uint64
+	// LoadMissRateL0 and LoadMissRateL1 are the realised load miss rates
+	// at the squash-trigger levels.
+	LoadMissRateL0 float64
+	LoadMissRateL1 float64
+	// Trace is retained only when Config.KeepTrace was set.
+	Trace *pipeline.Trace
+	// RegFile is the register-file vulnerability report, present only
+	// when Config.RegFile was set.
+	RegFile *ace.RegFileReport
+}
+
+// Run executes one simulation end to end: build the generator, warm the
+// hierarchy, run the pipeline, and integrate the AVFs.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Commits == 0 {
+		cfg.Commits = DefaultCommits
+	}
+	zero := pipeline.Config{}
+	if cfg.Pipeline == zero {
+		cfg.Pipeline = pipeline.DefaultConfig()
+	}
+	gen, err := workload.New(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := cache.NewHierarchy(cache.DefaultHierarchy())
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.SkipWarm {
+		workload.WarmCaches(mem)
+	}
+	pipe, err := pipeline.New(cfg.Pipeline, gen, mem)
+	if err != nil {
+		return nil, err
+	}
+	tr := pipe.Run(cfg.Commits, true)
+	rep := ace.Analyze(tr)
+	res := &Result{
+		Name:           cfg.Workload.Name,
+		IPC:            tr.IPC(),
+		Report:         rep,
+		Cycles:         tr.Cycles,
+		Commits:        tr.Commits,
+		Squashes:       tr.Squashes,
+		Refetches:      tr.Refetches,
+		ThrottleEvents: tr.ThrottleEvents,
+		LoadMissRateL0: tr.LoadMissRate(cache.LevelL0),
+		LoadMissRateL1: tr.LoadMissRate(cache.LevelL1),
+	}
+	if cfg.KeepTrace {
+		res.Trace = tr
+	}
+	if cfg.RegFile {
+		res.RegFile = ace.AnalyzeRegFile(tr, rep.Dead)
+	}
+	return res, nil
+}

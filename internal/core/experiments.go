@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"softerror/internal/ace"
+	"softerror/internal/cache"
+	"softerror/internal/fault"
+	"softerror/internal/pipeline"
+	"softerror/internal/serate"
+	"softerror/internal/spec"
+)
+
+// Suite evaluates a benchmark roster under multiple policies, memoising
+// each (benchmark, policy) simulation so that the experiment drivers —
+// which reuse baseline and squash runs heavily — pay for each run once.
+type Suite struct {
+	Benches []spec.Benchmark
+	// Commits is the per-run commit budget.
+	Commits uint64
+
+	results map[string]*Result
+}
+
+// NewSuite builds a Suite over the given roster (nil means spec.All()).
+func NewSuite(benches []spec.Benchmark, commits uint64) *Suite {
+	if benches == nil {
+		benches = spec.All()
+	}
+	if commits == 0 {
+		commits = DefaultCommits
+	}
+	return &Suite{
+		Benches: benches,
+		Commits: commits,
+		results: make(map[string]*Result),
+	}
+}
+
+// Result returns the memoised simulation of one benchmark under a policy.
+func (s *Suite) Result(b spec.Benchmark, pol Policy) (*Result, error) {
+	key := fmt.Sprintf("%s/%d", b.Name, pol)
+	if r, ok := s.results[key]; ok {
+		return r, nil
+	}
+	pcfg := pipeline.DefaultConfig()
+	pol.Apply(&pcfg)
+	r, err := Run(Config{Workload: b.Params, Pipeline: pcfg, Commits: s.Commits})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s under %v: %w", b.Name, pol, err)
+	}
+	// Release the per-instruction classification map: the drivers only
+	// need the aggregate report and distance populations.
+	r.Report.Dead.Compact()
+	s.results[key] = r
+	return r, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: impact of squashing on IPC and the IQ's SDC and DUE AVFs.
+
+// Table1Row is one design point of Table 1.
+type Table1Row struct {
+	Policy Policy
+	IPC    float64
+	SDCAVF float64
+	DUEAVF float64
+	// MeritSDC and MeritDUE are IPC/SDC-AVF and IPC/DUE-AVF, the paper's
+	// MITF-proportional figures of merit.
+	MeritSDC float64
+	MeritDUE float64
+}
+
+// Table1 reproduces Table 1: means across the roster for the baseline and
+// both squash triggers.
+func (s *Suite) Table1() ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, 3)
+	for _, pol := range []Policy{PolicyBaseline, PolicySquashL1, PolicySquashL0} {
+		var ipc, sdc, due float64
+		for _, b := range s.Benches {
+			r, err := s.Result(b, pol)
+			if err != nil {
+				return nil, err
+			}
+			ipc += r.IPC
+			sdc += r.Report.SDCAVF()
+			due += r.Report.DUEAVF()
+		}
+		n := float64(len(s.Benches))
+		ipc, sdc, due = ipc/n, sdc/n, due/n
+		rows = append(rows, Table1Row{
+			Policy:   pol,
+			IPC:      ipc,
+			SDCAVF:   sdc,
+			DUEAVF:   due,
+			MeritSDC: serate.Merit(ipc, sdc),
+			MeritDUE: serate.Merit(ipc, due),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: coverage of the IQ's false DUE AVF by the tracking stack.
+
+// TrackingLevels are the cumulative mechanisms of Figure 2, in deployment
+// order.
+var TrackingLevels = []ace.TrackLevel{
+	ace.TrackCommit, ace.TrackAntiPi, ace.TrackPET,
+	ace.TrackRegFile, ace.TrackStoreBuffer, ace.TrackMemory,
+}
+
+// Figure2Row is one benchmark's false-DUE coverage profile.
+type Figure2Row struct {
+	Bench string
+	FP    bool
+	// BaseFalseDUE is the untracked false DUE AVF.
+	BaseFalseDUE float64
+	// Remaining[i] is the false DUE AVF left after deploying
+	// TrackingLevels[:i+1].
+	Remaining [6]float64
+}
+
+// CoveredFrac returns the fraction of the base false DUE AVF removed by
+// level index i (cumulative).
+func (r *Figure2Row) CoveredFrac(i int) float64 {
+	if r.BaseFalseDUE == 0 {
+		return 0
+	}
+	return 1 - r.Remaining[i]/r.BaseFalseDUE
+}
+
+// Figure2 reproduces Figure 2: per-benchmark false-DUE coverage under the
+// cumulative tracking stack, on the baseline (no squashing) machine with a
+// PET buffer of petEntries entries.
+func (s *Suite) Figure2(petEntries int) ([]Figure2Row, error) {
+	return s.Figure2Under(PolicyBaseline, petEntries)
+}
+
+// Figure2Under measures the same coverage stack under an exposure policy —
+// the §6.3 combination, where squashing shrinks the base false-DUE AVF the
+// stack then covers.
+func (s *Suite) Figure2Under(pol Policy, petEntries int) ([]Figure2Row, error) {
+	if petEntries <= 0 {
+		petEntries = 512
+	}
+	rows := make([]Figure2Row, 0, len(s.Benches))
+	for _, b := range s.Benches {
+		r, err := s.Result(b, pol)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure2Row{Bench: b.Name, FP: b.FP, BaseFalseDUE: r.Report.FalseDUEAVF()}
+		for i, lvl := range TrackingLevels {
+			row.Remaining[i] = r.Report.FalseDUERemaining(lvl, petEntries)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure2Mean averages rows into a single coverage profile, optionally
+// restricted to integer or floating-point benchmarks (fpOnly == nil means
+// all).
+func Figure2Mean(rows []Figure2Row, fpOnly *bool) Figure2Row {
+	mean := Figure2Row{Bench: "mean"}
+	n := 0
+	for _, r := range rows {
+		if fpOnly != nil && r.FP != *fpOnly {
+			continue
+		}
+		mean.BaseFalseDUE += r.BaseFalseDUE
+		for i := range r.Remaining {
+			mean.Remaining[i] += r.Remaining[i]
+		}
+		n++
+	}
+	if n == 0 {
+		return mean
+	}
+	mean.BaseFalseDUE /= float64(n)
+	for i := range mean.Remaining {
+		mean.Remaining[i] /= float64(n)
+	}
+	return mean
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: FDD coverage versus PET-buffer size.
+
+// Figure3Row is one PET size's coverage of the dead populations.
+type Figure3Row struct {
+	Entries int
+	// FDDReg covers plain first-level dead register writes; WithReturns
+	// adds return-dead locals to the tracked population; WithMemory adds
+	// dead stores as well — the three curves of Figure 3.
+	FDDReg      float64
+	WithReturns float64
+	WithMemory  float64
+}
+
+// DefaultPETSizes is the sweep of Figure 3 (powers of two through the
+// paper's "about 10,000 entries" observation).
+var DefaultPETSizes = []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
+// Figure3 reproduces Figure 3: coverage of the FDD populations, pooled
+// across the roster's baseline runs, as a function of PET size.
+func (s *Suite) Figure3(sizes []int) ([]Figure3Row, error) {
+	if sizes == nil {
+		sizes = DefaultPETSizes
+	}
+	var reg, ret, mem []int
+	for _, b := range s.Benches {
+		r, err := s.Result(b, PolicyBaseline)
+		if err != nil {
+			return nil, err
+		}
+		d := r.Report.Dead
+		reg = append(reg, d.FDDRegDist...)
+		ret = append(ret, d.FDDRetDist...)
+		mem = append(mem, d.FDDMemDist...)
+	}
+	regRet := append(append([]int{}, reg...), ret...)
+	all := append(append([]int{}, regRet...), mem...)
+	rows := make([]Figure3Row, 0, len(sizes))
+	for _, n := range sizes {
+		rows = append(rows, Figure3Row{
+			Entries:     n,
+			FDDReg:      ace.PETCoverage(reg, n),
+			WithReturns: ace.PETCoverage(regRet, n),
+			WithMemory:  ace.PETCoverage(all, n),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: combining squashing with π-bit tracking.
+
+// Figure4Row is one benchmark's combined-technique summary.
+type Figure4Row struct {
+	Bench string
+	FP    bool
+	// RelSDC is (squash-L1 SDC AVF) / (baseline SDC AVF) on the
+	// unprotected queue.
+	RelSDC float64
+	// RelDUE is (squash-L1 + π-to-store-buffer DUE AVF) / (baseline DUE
+	// AVF) on the parity-protected queue.
+	RelDUE float64
+	// RelIPC is squash-L1 IPC / baseline IPC.
+	RelIPC float64
+}
+
+// Figure4 reproduces Figure 4: squashing on L1 misses for the unprotected
+// queue's SDC AVF, and squashing plus π-bit tracking to the store-buffer
+// commit point (option 3 of §4.3.3) for the parity queue's DUE AVF.
+func (s *Suite) Figure4() ([]Figure4Row, error) {
+	rows := make([]Figure4Row, 0, len(s.Benches))
+	for _, b := range s.Benches {
+		base, err := s.Result(b, PolicyBaseline)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := s.Result(b, PolicySquashL1)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure4Row{Bench: b.Name, FP: b.FP, RelSDC: 1, RelDUE: 1, RelIPC: 1}
+		if v := base.Report.SDCAVF(); v > 0 {
+			row.RelSDC = sq.Report.SDCAVF() / v
+		}
+		if v := base.Report.DUEAVF(); v > 0 {
+			combined := sq.Report.TrueDUEAVF() +
+				sq.Report.FalseDUERemaining(ace.TrackStoreBuffer, 512)
+			row.RelDUE = combined / v
+		}
+		if base.IPC > 0 {
+			row.RelIPC = sq.IPC / base.IPC
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// §4.1 occupancy breakdown and Figure 1 outcome taxonomy.
+
+// BreakdownRow decomposes one benchmark's IQ occupancy (§4.1: the paper
+// reports 29% ACE, 30% idle, 8% Ex-ACE, 33% valid un-ACE on average).
+type BreakdownRow struct {
+	Bench     string
+	FP        bool
+	Idle      float64
+	NeverRead float64
+	ExACE     float64
+	UnACE     float64
+	ACE       float64
+}
+
+// Breakdown reports the baseline occupancy decomposition per benchmark.
+func (s *Suite) Breakdown() ([]BreakdownRow, error) {
+	rows := make([]BreakdownRow, 0, len(s.Benches))
+	for _, b := range s.Benches {
+		r, err := s.Result(b, PolicyBaseline)
+		if err != nil {
+			return nil, err
+		}
+		rep := r.Report
+		rows = append(rows, BreakdownRow{
+			Bench:     b.Name,
+			FP:        b.FP,
+			Idle:      rep.IdleFraction(),
+			NeverRead: rep.NeverReadFraction(),
+			ExACE:     rep.ExACEFraction(),
+			UnACE:     rep.FalseDUEAVF(),
+			ACE:       rep.SDCAVF(),
+		})
+	}
+	return rows, nil
+}
+
+// OutcomeRow tallies a fault-injection campaign (Figure 1's taxonomy).
+type OutcomeRow struct {
+	Label   string
+	Strikes uint64
+	Counts  [fault.NumOutcomes]uint64
+}
+
+// Outcomes runs fault-injection campaigns on one benchmark: the unprotected
+// queue, the conservative parity queue, and parity with each tracking
+// level, with the given number of strikes each.
+func Outcomes(b spec.Benchmark, commits uint64, strikes int, seed uint64) ([]OutcomeRow, error) {
+	if commits == 0 {
+		commits = DefaultCommits
+	}
+	res, err := Run(Config{Workload: b.Params, Commits: commits, KeepTrace: true})
+	if err != nil {
+		return nil, err
+	}
+	inj := fault.NewInjector(res.Trace, res.Report.Dead)
+	var rows []OutcomeRow
+	run := func(label string, cfg fault.Config) error {
+		cfg.Strikes = strikes
+		cfg.Seed = seed
+		r, err := inj.Run(cfg)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, OutcomeRow{Label: label, Strikes: r.Strikes, Counts: r.Counts})
+		return nil
+	}
+	if err := run("unprotected", fault.Config{Protection: cache.ProtNone}); err != nil {
+		return nil, err
+	}
+	if err := run("parity", fault.Config{Protection: cache.ProtParity, Level: ace.TrackNever}); err != nil {
+		return nil, err
+	}
+	for _, lvl := range TrackingLevels {
+		label := fmt.Sprintf("parity+%v", lvl)
+		if err := run(label, fault.Config{Protection: cache.ProtParity, Level: lvl}); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: fetch throttling versus squashing (§3.1 reports throttling adds
+// nothing beyond squashing; the paper omits its numbers).
+
+// AblationRow compares a policy against the baseline.
+type AblationRow struct {
+	Policy   Policy
+	IPC      float64
+	SDCAVF   float64
+	MeritSDC float64
+}
+
+// ThrottleAblation evaluates squash and throttle actions at both trigger
+// levels against the baseline, averaged over the roster.
+func (s *Suite) ThrottleAblation() ([]AblationRow, error) {
+	policies := []Policy{
+		PolicyBaseline, PolicySquashL1, PolicyThrottleL1,
+		PolicySquashL0, PolicyThrottleL0,
+	}
+	rows := make([]AblationRow, 0, len(policies))
+	for _, pol := range policies {
+		var ipc, sdc float64
+		for _, b := range s.Benches {
+			r, err := s.Result(b, pol)
+			if err != nil {
+				return nil, err
+			}
+			ipc += r.IPC
+			sdc += r.Report.SDCAVF()
+		}
+		n := float64(len(s.Benches))
+		rows = append(rows, AblationRow{
+			Policy:   pol,
+			IPC:      ipc / n,
+			SDCAVF:   sdc / n,
+			MeritSDC: serate.Merit(ipc/n, sdc/n),
+		})
+	}
+	return rows, nil
+}
+
+// RegFileRow is one benchmark's register-file vulnerability summary (the
+// conclusion's "other structures" extension).
+type RegFileRow struct {
+	Bench string
+	FP    bool
+
+	SDCAVF      float64
+	FalseDUEAVF float64
+	ExACE       float64
+	Untouched   float64
+}
+
+// RegFile measures the architectural register files' AVF decomposition
+// across the roster's baseline runs. Runs are not memoised with the suite
+// (the register analysis needs commit cycles and uncompacted deadness).
+func (s *Suite) RegFile() ([]RegFileRow, error) {
+	rows := make([]RegFileRow, 0, len(s.Benches))
+	for _, b := range s.Benches {
+		r, err := Run(Config{Workload: b.Params, Commits: s.Commits, RegFile: true})
+		if err != nil {
+			return nil, fmt.Errorf("core: regfile %s: %w", b.Name, err)
+		}
+		rf := r.RegFile
+		rows = append(rows, RegFileRow{
+			Bench:       b.Name,
+			FP:          b.FP,
+			SDCAVF:      rf.SDCAVF(),
+			FalseDUEAVF: rf.FalseDUEAVF(),
+			ExACE:       rf.ExACEFraction(),
+			Untouched:   rf.UntouchedFraction(),
+		})
+	}
+	return rows, nil
+}
+
+// GeoMean returns the geometric mean of strictly positive values; zero or
+// negative inputs are skipped.
+func GeoMean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"softerror/internal/ace"
+	"softerror/internal/isa"
+	"softerror/internal/serate"
+	"softerror/internal/spec"
+)
+
+// ProtectionRow is one row of the protection-scheme comparison: the
+// absolute SDC and DUE rates of the instruction queue under a protection
+// choice, composed from the measured AVFs and a raw per-bit rate (§2's
+// rate equations, §8's design-space summary).
+type ProtectionRow struct {
+	Scheme string
+	SDCFIT serate.FIT
+	DUEFIT serate.FIT
+}
+
+// ProtectionComparison composes the IQ's absolute error rates under the
+// design options the paper discusses: leave it unprotected, add parity
+// (conservative), add parity plus the π-bit stack at the store-buffer or
+// memory level, add squashing on top, or correct with ECC. rawFITPerBit is
+// the technology's raw soft-error rate per bit.
+func ProtectionComparison(benches []spec.Benchmark, commits uint64, rawFITPerBit float64) ([]ProtectionRow, error) {
+	if benches == nil {
+		benches = spec.All()
+	}
+	s := NewSuite(benches, commits)
+
+	// Mean AVFs across the roster, baseline and squash-L1.
+	var baseSDC, baseFalse [2]float64 // [0]=baseline, [1]=squash-L1
+	var baseStore, baseMem [2]float64
+	for i, pol := range []Policy{PolicyBaseline, PolicySquashL1} {
+		for _, b := range s.Benches {
+			r, err := s.Result(b, pol)
+			if err != nil {
+				return nil, err
+			}
+			baseSDC[i] += r.Report.SDCAVF()
+			baseFalse[i] += r.Report.FalseDUEAVF()
+			baseStore[i] += r.Report.FalseDUERemaining(ace.TrackStoreBuffer, 512)
+			baseMem[i] += r.Report.FalseDUERemaining(ace.TrackMemory, 512)
+		}
+		n := float64(len(s.Benches))
+		baseSDC[i] /= n
+		baseFalse[i] /= n
+		baseStore[i] /= n
+		baseMem[i] /= n
+	}
+
+	bits := float64(64) * float64(isa.EntryPayloadBits)
+	raw := serate.FIT(rawFITPerBit * bits)
+	row := func(scheme string, sdcAVF, dueAVF float64) ProtectionRow {
+		sdc, due := serate.Rates([]serate.Device{
+			{Name: "iq", RawFIT: raw, SDCAVF: sdcAVF, DUEAVF: dueAVF},
+		})
+		return ProtectionRow{Scheme: scheme, SDCFIT: sdc, DUEFIT: due}
+	}
+	return []ProtectionRow{
+		row("unprotected", baseSDC[0], 0),
+		row("unprotected + squash-L1", baseSDC[1], 0),
+		row("parity (conservative)", 0, baseSDC[0]+baseFalse[0]),
+		row("parity + pi to store buffer", 0, baseSDC[0]+baseStore[0]),
+		row("parity + pi through memory", 0, baseSDC[0]+baseMem[0]),
+		row("parity + pi + squash-L1", 0, baseSDC[1]+baseStore[1]),
+		row("ecc (corrects single-bit)", 0, 0),
+	}, nil
+}

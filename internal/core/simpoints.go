@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"softerror/internal/pipeline"
+	"softerror/internal/spec"
+)
+
+// SimPointSummary aggregates several SimPoint slices of one benchmark. The
+// paper obtained multiple SimPoints per benchmark but presented only the
+// first; running several quantifies how sensitive the AVFs are to the
+// slice (program phase) chosen.
+type SimPointSummary struct {
+	Bench  string
+	Policy Policy
+	N      int
+
+	MeanIPC, StdIPC       float64
+	MeanSDCAVF, StdSDCAVF float64
+	MeanDUEAVF, StdDUEAVF float64
+}
+
+// RunSimPoints simulates n SimPoint slices of one benchmark under a policy.
+// Each slice reuses the benchmark's profile with a derived seed, standing
+// in for a different region of the program's execution, and runs for
+// commits instructions.
+func RunSimPoints(b spec.Benchmark, pol Policy, n int, commits uint64) (SimPointSummary, error) {
+	if n < 1 {
+		return SimPointSummary{}, fmt.Errorf("core: need at least one SimPoint, got %d", n)
+	}
+	pcfg := pipeline.DefaultConfig()
+	pol.Apply(&pcfg)
+
+	sum := SimPointSummary{Bench: b.Name, Policy: pol, N: n}
+	var ipc, sdc, due []float64
+	for k := 0; k < n; k++ {
+		params := b.Params
+		// Golden-ratio seed stepping keeps slices decorrelated while the
+		// first SimPoint reproduces the headline numbers exactly.
+		params.Seed = b.Params.Seed + uint64(k)*0x9e3779b97f4a7c15
+		r, err := Run(Config{Workload: params, Pipeline: pcfg, Commits: commits})
+		if err != nil {
+			return SimPointSummary{}, fmt.Errorf("core: %s simpoint %d: %w", b.Name, k, err)
+		}
+		ipc = append(ipc, r.IPC)
+		sdc = append(sdc, r.Report.SDCAVF())
+		due = append(due, r.Report.DUEAVF())
+	}
+	sum.MeanIPC, sum.StdIPC = meanStd(ipc)
+	sum.MeanSDCAVF, sum.StdSDCAVF = meanStd(sdc)
+	sum.MeanDUEAVF, sum.StdDUEAVF = meanStd(due)
+	return sum, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / (n - 1))
+}

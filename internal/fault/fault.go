@@ -1,0 +1,278 @@
+// Package fault implements single-bit fault injection into the instruction
+// queue: a Monte-Carlo campaign that samples strikes uniformly over the
+// queue's (entry × bit × cycle) space and classifies each outcome according
+// to Figure 1 of the paper — benign, silent data corruption (SDC), true
+// detected unrecoverable error (true DUE), or false DUE — under a
+// configurable protection scheme and π-bit tracking level.
+//
+// The campaign is the empirical cross-check of the analytic ACE-based AVFs:
+// with enough strikes, the measured SDC fraction converges to the SDC AVF
+// of the unprotected queue, and the measured (true + false) DUE fractions
+// converge to the DUE AVF decomposition of the parity-protected queue.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"softerror/internal/ace"
+	"softerror/internal/cache"
+	"softerror/internal/isa"
+	"softerror/internal/pibit"
+	"softerror/internal/pipeline"
+	"softerror/internal/rng"
+)
+
+// Outcome classifies one injected strike, mirroring Figure 1.
+type Outcome uint8
+
+const (
+	// OutcomeIdle: the struck entry held no instruction (outcome 1).
+	OutcomeIdle Outcome = iota
+	// OutcomeNeverRead: the struck copy was never read after the strike —
+	// squashed, flushed, or past its last issue (outcomes 1-2).
+	OutcomeNeverRead
+	// OutcomeBenignUnACE: read, but the bit cannot affect the outcome and
+	// no detection is present (outcome 3).
+	OutcomeBenignUnACE
+	// OutcomeSDC: read, outcome-changing, undetected (outcome 4).
+	OutcomeSDC
+	// OutcomeFalseDUE: detected and signalled, but the program outcome
+	// would have been unaffected (outcome 5).
+	OutcomeFalseDUE
+	// OutcomeTrueDUE: detected and signalled, outcome-changing (outcome 6).
+	OutcomeTrueDUE
+	// OutcomeSuppressed: detected, and the π-bit machinery proved the
+	// error false before signalling — the paper's false-DUE reduction.
+	OutcomeSuppressed
+	// OutcomeLatent: detected and still tracked by π state when the
+	// observation window closed; no error signalled, none lost.
+	OutcomeLatent
+	// OutcomeMissedError: the machinery suppressed an outcome-changing
+	// error. This must never happen; the campaign counts it as a safety
+	// invariant.
+	OutcomeMissedError
+
+	// NumOutcomes is the number of outcome classes.
+	NumOutcomes = iota
+)
+
+var outcomeNames = [NumOutcomes]string{
+	"idle", "never-read", "benign-unace", "sdc",
+	"false-due", "true-due", "suppressed", "latent", "missed-error",
+}
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Config parameterises a campaign.
+type Config struct {
+	// Protection is the queue's error-detection scheme: ProtNone (SDC
+	// study) or ProtParity (DUE study). ProtECC yields all-benign.
+	Protection cache.Protection
+	// Level is the deployed π-bit tracking level (parity only);
+	// ace.TrackNever models the conservative signal-on-detect baseline.
+	Level ace.TrackLevel
+	// PETEntries sizes the PET buffer at ace.TrackPET (default 512).
+	PETEntries int
+	// Strikes is the number of injected faults.
+	Strikes int
+	// Seed drives the strike sampler.
+	Seed uint64
+}
+
+// Result tallies a campaign.
+type Result struct {
+	Counts  [NumOutcomes]uint64
+	Strikes uint64
+}
+
+// Frac returns the fraction of strikes with the given outcome.
+func (r *Result) Frac(o Outcome) float64 {
+	if r.Strikes == 0 {
+		return 0
+	}
+	return float64(r.Counts[o]) / float64(r.Strikes)
+}
+
+// SDCFraction estimates the SDC AVF (meaningful for ProtNone campaigns).
+func (r *Result) SDCFraction() float64 { return r.Frac(OutcomeSDC) }
+
+// DUEFraction estimates the DUE AVF (true + false) for parity campaigns.
+func (r *Result) DUEFraction() float64 {
+	return r.Frac(OutcomeTrueDUE) + r.Frac(OutcomeFalseDUE)
+}
+
+// FalseDUEFraction estimates the false-DUE AVF.
+func (r *Result) FalseDUEFraction() float64 { return r.Frac(OutcomeFalseDUE) }
+
+// Injector samples strikes against the residency record of one structure
+// (the instruction queue by default; the front-end fetch buffer via
+// NewFrontEndInjector).
+type Injector struct {
+	residencies []pipeline.Residency
+	log         []isa.Inst
+	dead        *ace.Deadness
+
+	cum      []uint64 // cumulative occupied bit-cycles per residency
+	totalOcc uint64
+	capacity uint64
+	bySeq    map[uint64]int // commit-log index by sequence number
+}
+
+// NewInjector prepares fault injection over a trace's instruction-queue
+// residencies and its deadness analysis.
+func NewInjector(tr *pipeline.Trace, dead *ace.Deadness) *Injector {
+	return NewStructureInjector(tr.Residencies, tr.Cycles, tr.IQSize, tr.CommitLog, dead)
+}
+
+// NewFrontEndInjector prepares fault injection over the fetch buffer: the
+// structure §4.2's chunk-granularity π bits protect. A strike is detected
+// when the chunk is read at delivery to decode; the same commit-path
+// machinery then decides its fate.
+func NewFrontEndInjector(tr *pipeline.Trace, dead *ace.Deadness) *Injector {
+	return NewStructureInjector(tr.FrontEnd, tr.Cycles, tr.FrontEndCap, tr.CommitLog, dead)
+}
+
+// NewStructureInjector prepares fault injection over arbitrary residency
+// intervals of a structure with the given entry count.
+func NewStructureInjector(res []pipeline.Residency, cycles uint64, entries int, log []isa.Inst, dead *ace.Deadness) *Injector {
+	inj := &Injector{
+		residencies: res,
+		log:         log,
+		dead:        dead,
+		capacity:    cycles * uint64(entries) * uint64(isa.EntryPayloadBits),
+		bySeq:       make(map[uint64]int, len(log)),
+	}
+	inj.cum = make([]uint64, len(res))
+	var acc uint64
+	for i := range res {
+		acc += res[i].Occupancy() * uint64(isa.EntryPayloadBits)
+		inj.cum[i] = acc
+	}
+	inj.totalOcc = acc
+	for i := range log {
+		inj.bySeq[log[i].Seq] = i
+	}
+	return inj
+}
+
+// Run executes a campaign and returns the tallied outcomes.
+func (inj *Injector) Run(cfg Config) (*Result, error) {
+	if cfg.Strikes <= 0 {
+		return nil, fmt.Errorf("fault: Strikes = %d, want > 0", cfg.Strikes)
+	}
+	if inj.capacity == 0 {
+		return nil, fmt.Errorf("fault: empty trace")
+	}
+	pet := cfg.PETEntries
+	if pet <= 0 {
+		pet = 512
+	}
+	engine := &pibit.Engine{Level: cfg.Level, PETEntries: pet, Window: pibit.DefaultWindow}
+	s := rng.New(cfg.Seed, 0xfa17)
+	res := &Result{}
+	for i := 0; i < cfg.Strikes; i++ {
+		o := inj.strike(s, cfg, engine)
+		res.Counts[o]++
+		res.Strikes++
+	}
+	return res, nil
+}
+
+// strike injects one uniformly sampled fault and classifies it.
+func (inj *Injector) strike(s *rng.Stream, cfg Config, engine *pibit.Engine) Outcome {
+	u := uint64(s.Int63n(int64(inj.capacity)))
+	if u >= inj.totalOcc {
+		return OutcomeIdle
+	}
+	// Locate the residency containing occupied bit-cycle u.
+	idx := sort.Search(len(inj.cum), func(i int) bool { return inj.cum[i] > u })
+	r := &inj.residencies[idx]
+	base := uint64(0)
+	if idx > 0 {
+		base = inj.cum[idx-1]
+	}
+	off := u - base
+	cycle := r.Enq + off/uint64(isa.EntryPayloadBits)
+	bit := int(off % uint64(isa.EntryPayloadBits))
+	field := isa.FieldOfBit(bit)
+
+	// Strikes after the last read are never consumed.
+	if !r.Issued || cycle >= r.Issue {
+		return OutcomeNeverRead
+	}
+
+	cat := inj.dead.Of(&r.Inst)
+	truth := ace.BitACE(cat, field, r.Inst.Dest != isa.RegNone)
+
+	switch cfg.Protection {
+	case cache.ProtNone:
+		if truth {
+			return OutcomeSDC
+		}
+		return OutcomeBenignUnACE
+	case cache.ProtECC:
+		return OutcomeNeverRead // corrected in place; never observed
+	}
+
+	// Parity: the fault is detected when the entry is read at issue.
+	if r.Inst.WrongPath {
+		// Wrong-path instructions never reach the commit log; the commit
+		// point discards them under any π level.
+		if cfg.Level >= ace.TrackCommit {
+			return OutcomeSuppressed
+		}
+		return OutcomeFalseDUE
+	}
+	ci, ok := inj.bySeq[r.Inst.Seq]
+	if !ok {
+		// Issued after the recorded log ended; be conservative.
+		if truth {
+			return OutcomeTrueDUE
+		}
+		return OutcomeFalseDUE
+	}
+	switch engine.Process(inj.log, ci, field) {
+	case pibit.VerdictSignalled:
+		if truth {
+			return OutcomeTrueDUE
+		}
+		return OutcomeFalseDUE
+	case pibit.VerdictSuppressed:
+		if truth {
+			return OutcomeMissedError
+		}
+		return OutcomeSuppressed
+	default:
+		return OutcomeLatent
+	}
+}
+
+// StdErr returns the Monte-Carlo standard error of the fraction estimate
+// for the given outcome (binomial: sqrt(p(1-p)/n)). Reported AVF estimates
+// are typically quoted as Frac ± 2·StdErr.
+func (r *Result) StdErr(o Outcome) float64 {
+	if r.Strikes == 0 {
+		return 0
+	}
+	p := r.Frac(o)
+	return sqrt(p * (1 - p) / float64(r.Strikes))
+}
+
+// sqrt avoids importing math for one call site.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}

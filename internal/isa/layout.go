@@ -1,0 +1,87 @@
+package isa
+
+import "fmt"
+
+// Field identifies a bit-field of an instruction-queue entry. Per-field
+// granularity matters for ACE analysis: the paper notes that a strike on a
+// dynamically dead instruction is benign except in the destination-register
+// specifier bits, and a strike on a neutral instruction (nop/prefetch/hint)
+// is benign except in the opcode bits.
+type Field uint8
+
+const (
+	// FieldOpcode holds the major opcode and completers.
+	FieldOpcode Field = iota
+	// FieldDest holds the destination-register specifier.
+	FieldDest
+	// FieldSrc1 holds the first source-register specifier.
+	FieldSrc1
+	// FieldSrc2 holds the second source-register specifier.
+	FieldSrc2
+	// FieldPred holds the qualifying-predicate specifier.
+	FieldPred
+	// FieldImm holds immediate/displacement bits.
+	FieldImm
+
+	// NumFields is the number of distinct payload fields.
+	NumFields = iota
+)
+
+var fieldNames = [NumFields]string{"opcode", "dest", "src1", "src2", "pred", "imm"}
+
+// String returns the field's name.
+func (f Field) String() string {
+	if int(f) < len(fieldNames) {
+		return fieldNames[f]
+	}
+	return fmt.Sprintf("field(%d)", uint8(f))
+}
+
+// FieldBits gives the width in bits of each payload field. The widths mirror
+// an IA-64 syllable: 41 bits total, with 7-bit register specifiers (128
+// registers) and a 6-bit predicate specifier (64 predicates).
+var FieldBits = [NumFields]int{
+	FieldOpcode: 10,
+	FieldDest:   7,
+	FieldSrc1:   7,
+	FieldSrc2:   7,
+	FieldPred:   6,
+	FieldImm:    4,
+}
+
+// EntryPayloadBits is the number of payload bits in one instruction-queue
+// entry — the bits whose ACE-ness varies with the instruction occupying the
+// entry. Control bits (valid, parity, π, anti-π) are accounted separately.
+var EntryPayloadBits = func() int {
+	n := 0
+	for _, b := range FieldBits {
+		n += b
+	}
+	return n
+}()
+
+// FieldOffset returns the bit offset of field f within the payload, with
+// fields packed in declaration order. Offsets are stable across a run and
+// are used by the fault injector to map a struck bit index to a field.
+func FieldOffset(f Field) int {
+	off := 0
+	for i := Field(0); i < f; i++ {
+		off += FieldBits[i]
+	}
+	return off
+}
+
+// FieldOfBit maps a payload bit index in [0, EntryPayloadBits) to the field
+// containing it. It panics on out-of-range indices.
+func FieldOfBit(bit int) Field {
+	if bit < 0 || bit >= EntryPayloadBits {
+		panic(fmt.Sprintf("isa: payload bit %d out of range [0,%d)", bit, EntryPayloadBits))
+	}
+	for f := Field(0); f < NumFields; f++ {
+		if bit < FieldBits[f] {
+			return f
+		}
+		bit -= FieldBits[f]
+	}
+	panic("unreachable")
+}

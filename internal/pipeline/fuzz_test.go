@@ -1,0 +1,176 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"softerror/internal/cache"
+	"softerror/internal/rng"
+	"softerror/internal/workload"
+)
+
+// randomParams draws a valid workload profile from across the parameter
+// space, including corners the Table-2 roster never visits.
+func randomParams(s *rng.Stream) workload.Params {
+	p := workload.Default()
+	p.Seed = s.Uint64()
+	p.LoadFrac = 0.05 + 0.2*s.Float64()
+	p.StoreFrac = 0.02 + 0.1*s.Float64()
+	p.FPFrac = 0.15 * s.Float64()
+	p.NopFrac = 0.35 * s.Float64()
+	p.PrefetchFrac = 0.05 * s.Float64()
+	p.MispredictRate = 0.15 * s.Float64()
+	p.CallFrac = 0.03 * s.Float64()
+	p.PredicatedFrac = 0.3 * s.Float64()
+	p.PredFalseProb = s.Float64()
+	p.FDDRegFrac = 0.06 * s.Float64()
+	p.TDDRegFrac = 0.04 * s.Float64()
+	p.FDDMemFrac = 0.03 * s.Float64()
+	p.DeadLocalFrac = s.Float64()
+	p.MissBurstiness = s.Float64()
+	p.L0Frac = 0.9 + 0.09*s.Float64()
+	rest := 1 - p.L0Frac
+	p.L1Frac = rest * 0.6
+	p.L2Frac = rest * 0.3
+	p.MemFrac = rest * 0.1
+	p.FetchBubbleProb = 0.5 * s.Float64()
+	p.FetchBubbleMean = 1 + s.Intn(8)
+	p.MeanBlockLen = 3 + s.Intn(15)
+	p.MeanCalleeLen = 10 + s.Intn(150)
+	p.DepDistance = 1 + s.Intn(12)
+	p.LoadUseDistance = s.Intn(25)
+	return p
+}
+
+func randomConfig(s *rng.Stream) Config {
+	cfg := DefaultConfig()
+	cfg.FetchWidth = 1 + s.Intn(8)
+	cfg.IssueWidth = 1 + s.Intn(8)
+	cfg.IQSize = 8 << s.Intn(5) // 8..128
+	cfg.FrontEndDepth = 1 + s.Intn(12)
+	cfg.BranchResolveLatency = 1 + s.Intn(6)
+	cfg.ReplayWindow = s.Intn(10)
+	cfg.StoreBufferSize = 2 + s.Intn(30)
+	cfg.StoreDrainLatency = 1 + s.Intn(12)
+	cfg.RefetchOverlap = s.Intn(cfg.FrontEndDepth + 1)
+	cfg.SquashTrigger = Trigger(s.Intn(3))
+	cfg.ThrottleTrigger = Trigger(s.Intn(3))
+	cfg.OutOfOrder = s.Bool(0.3)
+	return cfg
+}
+
+// TestRandomisedConfigurations drives the pipeline across random workload ×
+// machine configurations and checks the structural invariants every run
+// must satisfy: forward progress, unique issue per sequence number,
+// occupancy within capacity, commit log in program order.
+func TestRandomisedConfigurations(t *testing.T) {
+	s := rng.New(0xF00D, 99)
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		params := randomParams(s)
+		cfg := randomConfig(s)
+		if err := params.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid params: %v", trial, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid config: %v", trial, err)
+		}
+		gen := workload.MustNew(params)
+		mem := cache.MustNewDefault()
+		workload.WarmCaches(mem)
+		p := MustNew(cfg, gen, mem)
+		tr := p.Run(4000, true)
+
+		if tr.Commits < 4000 {
+			t.Fatalf("trial %d: no progress (%d commits)", trial, tr.Commits)
+		}
+		issued := map[uint64]bool{}
+		var occ uint64
+		for _, r := range tr.Residencies {
+			if r.Evict < r.Enq {
+				t.Fatalf("trial %d: inverted residency %+v", trial, r)
+			}
+			occ += r.Occupancy()
+			if r.Issued {
+				if issued[r.Inst.Seq] {
+					t.Fatalf("trial %d: seq %d issued twice", trial, r.Inst.Seq)
+				}
+				issued[r.Inst.Seq] = true
+			}
+		}
+		if max := tr.Cycles * uint64(cfg.IQSize); occ > max {
+			t.Fatalf("trial %d: occupancy %d > capacity %d", trial, occ, max)
+		}
+		for i := 1; i < len(tr.CommitLog); i++ {
+			if tr.CommitLog[i].Seq <= tr.CommitLog[i-1].Seq {
+				t.Fatalf("trial %d: commit log out of order at %d (ooo=%v)",
+					trial, i, cfg.OutOfOrder)
+			}
+		}
+		var sbOcc uint64
+		for _, r := range tr.StoreBuffer {
+			sbOcc += r.Occupancy()
+		}
+		if max := tr.Cycles * uint64(cfg.StoreBufferSize); sbOcc > max {
+			t.Fatalf("trial %d: store-buffer occupancy exceeds capacity", trial)
+		}
+	}
+}
+
+// TestRandomisedKernels drives random hand-written programs (drawn from the
+// kernel grammar) through the pipeline: parse, replay, run, no panics, and
+// commits keep flowing.
+func TestRandomisedKernels(t *testing.T) {
+	s := rng.New(0xBEEF, 7)
+	ops := []string{
+		"alu r%d r%d -", "alu r%d r%d r%d", "cmp p%d r%d r%d",
+		"load r%d r%d 0x%x", "store r%d r%d 0x%x", "prefetch r%d 0x%x",
+		"nop", "hint", "br r%d taken",
+	}
+	for trial := 0; trial < 20; trial++ {
+		var lines []string
+		n := 4 + s.Intn(30)
+		for i := 0; i < n; i++ {
+			switch pat := ops[s.Intn(len(ops))]; pat {
+			case "nop", "hint":
+				lines = append(lines, pat)
+			case "alu r%d r%d -":
+				lines = append(lines, sprintf(pat, 1+s.Intn(120), 1+s.Intn(120)))
+			case "alu r%d r%d r%d", "cmp p%d r%d r%d", "store r%d r%d 0x%x":
+				lines = append(lines, sprintf(pat, 1+s.Intn(60), 1+s.Intn(120), 1+s.Intn(120)))
+			case "load r%d r%d 0x%x":
+				lines = append(lines, sprintf(pat, 1+s.Intn(120), 1+s.Intn(120), 0x1000+8*s.Intn(512)))
+			case "prefetch r%d 0x%x":
+				lines = append(lines, sprintf(pat, 1+s.Intn(120), 0x1000+8*s.Intn(512)))
+			case "br r%d taken":
+				lines = append(lines, sprintf(pat, 1+s.Intn(120)))
+			}
+		}
+		prog := join(lines)
+		body, err := workload.ParseProgram(prog)
+		if err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v\n%s", trial, err, prog)
+		}
+		src, err := workload.NewReplay(body, s.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := cache.MustNewDefault()
+		workload.WarmCaches(mem)
+		tr := MustNew(DefaultConfig(), src, mem).Run(2000, true)
+		if tr.Commits < 2000 {
+			t.Fatalf("trial %d: kernel stalled", trial)
+		}
+	}
+}
+
+func sprintf(format string, args ...int) string {
+	vals := make([]interface{}, len(args))
+	for i, a := range args {
+		vals[i] = a
+	}
+	return fmt.Sprintf(format, vals...)
+}
+
+func join(lines []string) string { return strings.Join(lines, "\n") }

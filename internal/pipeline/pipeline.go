@@ -1,0 +1,620 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"softerror/internal/cache"
+	"softerror/internal/isa"
+)
+
+// Source supplies the dynamic instruction stream. Next returns the next
+// correct-path instruction; NextWrong synthesises a wrong-path instruction
+// fetched past an unresolved mispredicted branch. Both share one
+// sequence-number space in fetch order.
+type Source interface {
+	Next() isa.Inst
+	NextWrong() isa.Inst
+}
+
+// watchdogCycles bounds forward-progress stalls; exceeding it indicates a
+// simulator bug, not a workload property.
+const watchdogCycles = 500_000
+
+type iqEntry struct {
+	inst    isa.Inst
+	enq     uint64
+	issued  bool
+	issue   uint64
+	evictAt uint64 // valid once issued
+}
+
+type sbEntry struct {
+	inst    isa.Inst
+	enq     uint64
+	drainAt uint64
+}
+
+type feEntry struct {
+	inst    isa.Inst
+	fetched uint64
+	readyAt uint64
+}
+
+type squashEvent struct {
+	at         uint64
+	loadSeq    uint64
+	missReturn uint64
+}
+
+type throttleEvent struct {
+	at         uint64
+	missReturn uint64
+}
+
+// Pipeline is the core model. Create one per run with New; a Pipeline is
+// not safe for concurrent use and cannot be restarted after Run.
+type Pipeline struct {
+	cfg Config
+	src Source
+	mem *cache.Hierarchy
+
+	cycle    uint64
+	regReady [isa.NumRegs]uint64
+
+	iq       []iqEntry
+	frontEnd []feEntry
+	sb       []sbEntry
+	refetch  []isa.Inst
+	feCap    int
+	issuePtr int // index of oldest unissued IQ entry (scan hint)
+
+	// pendingInst parks an instruction whose front-end delivery gap
+	// (Inst.FetchBubble) is being charged; it is fetched once the gap
+	// elapses.
+	pendingInst isa.Inst
+	havePending bool
+
+	wrongMode   bool
+	wrongSrcSeq uint64 // Seq of the unresolved mispredicted branch
+	resolveAt   uint64 // cycle the outstanding mispredict redirects; 0 = none scheduled
+	squashQ     []squashEvent
+	throttleQ   []throttleEvent
+	stallUntil  uint64
+
+	trace Trace
+}
+
+// New builds a pipeline over the given instruction source and data-cache
+// hierarchy. The hierarchy may be pre-warmed and is shared state: the
+// caller owns it.
+func New(cfg Config, src Source, mem *cache.Hierarchy) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil || mem == nil {
+		return nil, fmt.Errorf("pipeline: nil source or memory")
+	}
+	p := &Pipeline{
+		cfg:   cfg,
+		src:   src,
+		mem:   mem,
+		feCap: cfg.FetchWidth * (cfg.FrontEndDepth + 2),
+	}
+	p.trace.IQSize = cfg.IQSize
+	p.trace.FrontEndCap = p.feCap
+	p.trace.StoreBufferCap = cfg.StoreBufferSize
+	return p, nil
+}
+
+// MustNew is New for statically valid arguments.
+func MustNew(cfg Config, src Source, mem *cache.Hierarchy) *Pipeline {
+	p, err := New(cfg, src, mem)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run simulates until the given number of correct-path instructions have
+// committed, then drains residency records and returns the trace. record
+// controls whether residencies and the commit log are captured (disable for
+// warm-up runs).
+func (p *Pipeline) Run(commits uint64, record bool) *Trace {
+	lastCommitCycle := uint64(0)
+	lastCommits := uint64(0)
+	for p.trace.Commits < commits {
+		p.step(record)
+		if p.trace.Commits != lastCommits {
+			lastCommits = p.trace.Commits
+			lastCommitCycle = p.cycle
+		} else if p.cycle-lastCommitCycle > watchdogCycles {
+			panic(fmt.Sprintf(
+				"pipeline: no commit for %d cycles at cycle %d (iq=%d fe=%d refetch=%d wrong=%v stall=%d)",
+				watchdogCycles, p.cycle, len(p.iq), len(p.frontEnd), len(p.refetch), p.wrongMode, p.stallUntil))
+		}
+	}
+	// Close residencies for entries still in flight, clipped at the final
+	// cycle so occupancy integrals stay consistent.
+	if record {
+		for i := range p.iq {
+			e := &p.iq[i]
+			p.recordResidency(e, p.cycle, false)
+		}
+		for i := range p.frontEnd {
+			p.recordFrontEnd(&p.frontEnd[i], p.cycle, false)
+		}
+		for i := range p.sb {
+			e := &p.sb[i]
+			p.trace.StoreBuffer = append(p.trace.StoreBuffer, Residency{
+				Inst: e.inst, Enq: e.enq, Evict: p.cycle,
+				Issued: true, Issue: p.cycle,
+			})
+		}
+	}
+	p.trace.Cycles = p.cycle
+	// Out-of-order issue appends commits in dataflow order; the analyses
+	// require program order, which the unique sequence numbers restore.
+	if p.cfg.OutOfOrder && record {
+		log, cycles := p.trace.CommitLog, p.trace.CommitCycles
+		order := make([]int, len(log))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return log[order[a]].Seq < log[order[b]].Seq })
+		sortedLog := make([]isa.Inst, len(log))
+		sortedCycles := make([]uint64, len(cycles))
+		for i, j := range order {
+			sortedLog[i] = log[j]
+			sortedCycles[i] = cycles[j]
+		}
+		p.trace.CommitLog, p.trace.CommitCycles = sortedLog, sortedCycles
+	}
+	return &p.trace
+}
+
+// step advances one cycle.
+func (p *Pipeline) step(record bool) {
+	now := p.cycle
+	p.drainStores(now, record)
+	p.resolveBranch(now, record)
+	p.applySquashes(now, record)
+	p.applyThrottles(now)
+	p.evict(now, record)
+	p.issue(now, record)
+	p.deliver(now, record)
+	p.fetch(now)
+	p.cycle++
+}
+
+// recordResidency appends a residency record for e ending at evict.
+func (p *Pipeline) recordResidency(e *iqEntry, evict uint64, squashed bool) {
+	p.trace.Residencies = append(p.trace.Residencies, Residency{
+		Inst:     e.inst,
+		Enq:      e.enq,
+		Evict:    evict,
+		Issued:   e.issued,
+		Issue:    e.issue,
+		Squashed: squashed,
+	})
+}
+
+// resolveBranch redirects fetch when the outstanding mispredicted branch
+// reaches its resolution cycle, flushing wrong-path state everywhere.
+func (p *Pipeline) resolveBranch(now uint64, record bool) {
+	if p.resolveAt == 0 || now < p.resolveAt {
+		return
+	}
+	p.resolveAt = 0
+	p.wrongMode = false
+	// Flush wrong-path entries from the IQ.
+	kept := p.iq[:0]
+	for i := range p.iq {
+		e := &p.iq[i]
+		if e.inst.WrongPath {
+			p.trace.WrongFlushes++
+			if record {
+				p.recordResidency(e, now, !e.issued)
+			}
+			continue
+		}
+		kept = append(kept, *e)
+	}
+	p.iq = kept
+	p.issuePtr = 0
+	// Flush wrong-path entries from the front end.
+	keptFE := p.frontEnd[:0]
+	for i := range p.frontEnd {
+		fe := &p.frontEnd[i]
+		if fe.inst.WrongPath {
+			p.trace.WrongFlushes++
+			if record {
+				p.recordFrontEnd(fe, now, false)
+			}
+			continue
+		}
+		keptFE = append(keptFE, *fe)
+	}
+	p.frontEnd = keptFE
+}
+
+// applySquashes fires pending squash events whose detection cycle arrived.
+func (p *Pipeline) applySquashes(now uint64, record bool) {
+	rest := p.squashQ[:0]
+	for _, ev := range p.squashQ {
+		if ev.at > now {
+			rest = append(rest, ev)
+			continue
+		}
+		p.doSquash(now, ev, record)
+	}
+	p.squashQ = rest
+}
+
+// doSquash removes every unissued IQ entry younger than the triggering
+// load, flushes the front end the same way, queues correct-path victims for
+// refetch, and stalls fetch until the miss returns.
+func (p *Pipeline) doSquash(now uint64, ev squashEvent, record bool) {
+	p.trace.Squashes++
+	kept := p.iq[:0]
+	for i := range p.iq {
+		e := &p.iq[i]
+		if e.issued || e.inst.Seq <= ev.loadSeq {
+			kept = append(kept, *e)
+			continue
+		}
+		p.trace.SquashedEntries++
+		if record {
+			p.recordResidency(e, now, true)
+		}
+		p.squashVictim(e.inst)
+	}
+	p.iq = kept
+	p.issuePtr = 0
+
+	keptFE := p.frontEnd[:0]
+	for i := range p.frontEnd {
+		fe := &p.frontEnd[i]
+		if fe.inst.Seq <= ev.loadSeq {
+			keptFE = append(keptFE, *fe)
+			continue
+		}
+		p.trace.SquashedEntries++
+		if record {
+			p.recordFrontEnd(fe, now, false)
+		}
+		p.squashVictim(fe.inst)
+	}
+	p.frontEnd = keptFE
+
+	sortRefetch(p.refetch)
+	// Restart fetch early enough that the front-end refill overlaps the
+	// remaining miss shadow.
+	restart := ev.missReturn - uint64(p.cfg.RefetchOverlap)
+	if restart < now {
+		restart = now
+	}
+	if restart > p.stallUntil {
+		p.stallUntil = restart
+	}
+}
+
+// squashVictim routes one squashed instruction: correct-path instructions
+// are refetched later under the same Seq; wrong-path ones are dropped. If
+// the unresolved mispredicted branch itself is squashed, wrong-path fetch
+// mode ends (it will re-trigger on refetch).
+func (p *Pipeline) squashVictim(in isa.Inst) {
+	if in.WrongPath {
+		return
+	}
+	p.refetch = append(p.refetch, in)
+	p.trace.Refetches++
+	if p.wrongMode && in.Seq == p.wrongSrcSeq {
+		p.wrongMode = false
+	}
+}
+
+// sortRefetch restores fetch order (by Seq) after a squash interleaves
+// victims with earlier, not-yet-refetched ones.
+func sortRefetch(q []isa.Inst) {
+	// Insertion sort: the queue is short and nearly sorted.
+	for i := 1; i < len(q); i++ {
+		for j := i; j > 0 && q[j-1].Seq > q[j].Seq; j-- {
+			q[j-1], q[j] = q[j], q[j-1]
+		}
+	}
+}
+
+// applyThrottles fires pending fetch-throttle events.
+func (p *Pipeline) applyThrottles(now uint64) {
+	rest := p.throttleQ[:0]
+	for _, ev := range p.throttleQ {
+		if ev.at > now {
+			rest = append(rest, ev)
+			continue
+		}
+		p.trace.ThrottleEvents++
+		if ev.missReturn > p.stallUntil {
+			p.stallUntil = ev.missReturn
+		}
+	}
+	p.throttleQ = rest
+}
+
+// evict retires issued entries from the queue head once their replay window
+// closes.
+func (p *Pipeline) evict(now uint64, record bool) {
+	n := 0
+	for n < len(p.iq) {
+		e := &p.iq[n]
+		if !e.issued || now < e.evictAt {
+			break
+		}
+		if record {
+			p.recordResidency(e, now, false)
+		}
+		n++
+	}
+	if n > 0 {
+		p.iq = p.iq[n:]
+		p.issuePtr -= n
+		if p.issuePtr < 0 {
+			p.issuePtr = 0
+		}
+	}
+}
+
+// issue performs scoreboarded issue: up to IssueWidth instructions per
+// cycle. In-order mode stops at the first unissued instruction with an
+// unready operand (stall-on-use); out-of-order mode skips stalled entries
+// and issues any ready instruction, oldest first.
+func (p *Pipeline) issue(now uint64, record bool) {
+	issued := 0
+	for i := p.issuePtr; i < len(p.iq) && issued < p.cfg.IssueWidth; i++ {
+		e := &p.iq[i]
+		if e.issued {
+			continue
+		}
+		if !p.ready(&e.inst, now) {
+			if p.cfg.OutOfOrder {
+				continue // skip the stalled entry, look younger
+			}
+			return // in-order: nothing younger may issue
+		}
+		p.execute(e, now, record)
+		issued++
+		if i == p.issuePtr {
+			p.issuePtr = i + 1
+		}
+	}
+}
+
+// ready reports whether the instruction's operands are available. Wrong-path
+// instructions are always "ready": their operands are speculative garbage.
+func (p *Pipeline) ready(in *isa.Inst, now uint64) bool {
+	if in.WrongPath {
+		return true
+	}
+	if in.PredGuard != isa.RegNone && p.regReady[in.PredGuard] > now {
+		return false
+	}
+	if in.PredFalse {
+		return true // guard known false: operand values are irrelevant
+	}
+	if in.Class == isa.ClassStore && len(p.sb) >= p.cfg.StoreBufferSize {
+		return false // store buffer full: the store cannot issue
+	}
+	if in.Src1 != isa.RegNone && p.regReady[in.Src1] > now {
+		return false
+	}
+	if in.Src2 != isa.RegNone && p.regReady[in.Src2] > now {
+		return false
+	}
+	return true
+}
+
+// execute issues one entry: reads it (the parity-check point), performs its
+// side effects, and schedules its eviction.
+func (p *Pipeline) execute(e *iqEntry, now uint64, record bool) {
+	e.issued = true
+	e.issue = now
+	e.evictAt = now + uint64(p.cfg.ReplayWindow)
+	in := &e.inst
+
+	if in.WrongPath {
+		return // consumed an issue slot; no architectural effects
+	}
+
+	p.trace.Commits++
+	if record {
+		p.trace.CommitLog = append(p.trace.CommitLog, *in)
+		p.trace.CommitCycles = append(p.trace.CommitCycles, now)
+	}
+
+	if in.PredFalse {
+		return // retires without executing
+	}
+
+	switch in.Class {
+	case isa.ClassALU:
+		p.writeDest(in, now+uint64(p.cfg.ALULatency))
+	case isa.ClassFPU:
+		p.writeDest(in, now+uint64(p.cfg.FPLatency))
+	case isa.ClassLoad:
+		if p.sbHolds(in.Addr) {
+			// Store-to-load forwarding: serviced from the store buffer,
+			// no cache access, no miss trigger.
+			p.trace.ForwardedLoads++
+			p.writeDest(in, now+1)
+			break
+		}
+		res := p.mem.Access(in.Addr, false)
+		p.trace.LoadsByLevel[res.Level]++
+		p.writeDest(in, now+uint64(res.Latency))
+		p.maybeTrigger(in, res, now)
+	case isa.ClassStore:
+		p.sb = append(p.sb, sbEntry{
+			inst:    *in,
+			enq:     now,
+			drainAt: now + uint64(p.cfg.StoreDrainLatency),
+		})
+	case isa.ClassIO:
+		p.mem.Access(in.Addr, true)
+	case isa.ClassPrefetch:
+		p.mem.Prefetch(in.Addr)
+	case isa.ClassBranch, isa.ClassCall, isa.ClassReturn:
+		if in.Mispred && p.wrongMode && p.wrongSrcSeq == in.Seq {
+			p.resolveAt = now + uint64(p.cfg.BranchResolveLatency)
+		}
+	case isa.ClassNop, isa.ClassHint:
+		// No effects.
+	}
+}
+
+func (p *Pipeline) writeDest(in *isa.Inst, readyAt uint64) {
+	if in.Dest != isa.RegNone {
+		p.regReady[in.Dest] = readyAt
+	}
+}
+
+// maybeTrigger schedules exposure-reduction actions for a load serviced
+// beyond the trigger level. The action fires when the miss is *detected* —
+// when the trigger-level cache would have responded — and fetch stalls
+// until the miss returns.
+func (p *Pipeline) maybeTrigger(in *isa.Inst, res cache.AccessResult, now uint64) {
+	if lvl := p.cfg.SquashTrigger.level(); lvl >= 0 && res.MissedLevel(lvl) {
+		p.squashQ = append(p.squashQ, squashEvent{
+			at:         now + uint64(p.mem.Level(lvl).Config().HitLatency),
+			loadSeq:    in.Seq,
+			missReturn: now + uint64(res.Latency),
+		})
+	}
+	if lvl := p.cfg.ThrottleTrigger.level(); lvl >= 0 && res.MissedLevel(lvl) {
+		p.throttleQ = append(p.throttleQ, throttleEvent{
+			at:         now + uint64(p.mem.Level(lvl).Config().HitLatency),
+			missReturn: now + uint64(res.Latency),
+		})
+	}
+}
+
+// drainStores retires at most one store per cycle from the buffer head to
+// the cache, recording its residency (the drain is the read point: the
+// value is committed to memory).
+func (p *Pipeline) drainStores(now uint64, record bool) {
+	if len(p.sb) == 0 {
+		return
+	}
+	e := &p.sb[0]
+	if now < e.drainAt {
+		return
+	}
+	p.mem.Access(e.inst.Addr, true)
+	if record {
+		p.trace.StoreBuffer = append(p.trace.StoreBuffer, Residency{
+			Inst:   e.inst,
+			Enq:    e.enq,
+			Evict:  now,
+			Issued: true,
+			Issue:  now,
+		})
+	}
+	p.sb = p.sb[1:]
+}
+
+// sbHolds reports whether the store buffer holds a pending store to addr.
+func (p *Pipeline) sbHolds(addr uint64) bool {
+	for i := len(p.sb) - 1; i >= 0; i-- {
+		if p.sb[i].inst.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// deliver moves instructions that have traversed the front end into the IQ,
+// in order, while space remains.
+func (p *Pipeline) deliver(now uint64, record bool) {
+	n := 0
+	for n < len(p.frontEnd) {
+		fe := &p.frontEnd[n]
+		if fe.readyAt > now || len(p.iq) >= p.cfg.IQSize {
+			break
+		}
+		p.iq = append(p.iq, iqEntry{inst: fe.inst, enq: now})
+		if record {
+			p.recordFrontEnd(fe, now, true)
+		}
+		n++
+	}
+	if n > 0 {
+		p.frontEnd = p.frontEnd[n:]
+	}
+}
+
+// recordFrontEnd logs one fetch-buffer occupancy interval: delivered
+// entries are read into decode (the front end's parity-check point);
+// flushed ones never are.
+func (p *Pipeline) recordFrontEnd(fe *feEntry, until uint64, delivered bool) {
+	p.trace.FrontEnd = append(p.trace.FrontEnd, Residency{
+		Inst:     fe.inst,
+		Enq:      fe.fetched,
+		Evict:    until,
+		Issued:   delivered,
+		Issue:    until,
+		Squashed: !delivered,
+	})
+}
+
+// fetch brings up to FetchWidth instructions into the front end, honouring
+// squash/throttle stalls and front-end capacity. Sources in priority order:
+// the refetch queue, then the wrong-path synthesiser (when an unresolved
+// mispredict is outstanding), then the correct-path stream.
+func (p *Pipeline) fetch(now uint64) {
+	if now < p.stallUntil {
+		p.trace.FetchStallCycles++
+		return
+	}
+	if len(p.frontEnd) >= p.feCap {
+		return
+	}
+	readyAt := now + uint64(p.cfg.FrontEndDepth)
+	for i := 0; i < p.cfg.FetchWidth && len(p.frontEnd) < p.feCap; i++ {
+		var in isa.Inst
+		switch {
+		case len(p.refetch) > 0 && !p.wrongMode:
+			// Refetched instructions are older than any parked pending
+			// instruction and hit a warm I-cache (no delivery gap).
+			in = p.refetch[0]
+			p.refetch = p.refetch[1:]
+		case p.havePending:
+			in = p.pendingInst
+			p.havePending = false
+		case p.wrongMode:
+			in = p.src.NextWrong()
+		default:
+			in = p.src.Next()
+		}
+		if in.FetchBubble > 0 {
+			// Charge the front-end delivery gap (I-cache/ITLB miss,
+			// dispersal break) and park the instruction until it elapses.
+			until := now + uint64(in.FetchBubble)
+			if until > p.stallUntil {
+				p.stallUntil = until
+			}
+			in.FetchBubble = 0
+			p.pendingInst = in
+			p.havePending = true
+			return
+		}
+		if in.Seq > p.trace.MaxSeq {
+			p.trace.MaxSeq = in.Seq
+		}
+		p.frontEnd = append(p.frontEnd, feEntry{inst: in, fetched: now, readyAt: readyAt})
+		// A freshly fetched mispredicted control instruction flips fetch
+		// into wrong-path mode for the rest of this cycle and beyond.
+		if !in.WrongPath && in.Class.IsControl() && in.Mispred && !p.wrongMode {
+			p.wrongMode = true
+			p.wrongSrcSeq = in.Seq
+		}
+	}
+}

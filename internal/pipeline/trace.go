@@ -1,0 +1,119 @@
+package pipeline
+
+import "softerror/internal/isa"
+
+// Residency records one occupancy of one instruction-queue entry: the
+// interval during which a particular dynamic instruction's bits sat in the
+// IQ. The ace package integrates these intervals into architectural
+// vulnerability factors.
+type Residency struct {
+	Inst isa.Inst
+
+	// Enq is the cycle the instruction entered the IQ. Evict is the cycle
+	// it left (by post-issue eviction, squash, or wrong-path flush); the
+	// occupied interval is [Enq, Evict).
+	Enq   uint64
+	Evict uint64
+
+	// Issued reports whether this copy was read by the issue stage; Issue
+	// is the cycle it was read. A parity check happens exactly at that
+	// read, so only issued residencies can raise a DUE. The interval
+	// (Issue, Evict) of an issued entry is Ex-ACE: the entry was issued
+	// for the last time but not yet evicted.
+	Issued bool
+	Issue  uint64
+
+	// Squashed marks a copy removed without ever being read: by an
+	// exposure-reduction squash (correct-path copies, which are refetched
+	// later under the same Seq) or by a wrong-path flush. A fault in such
+	// a copy is never read and therefore benign (outcome 1 in Figure 1).
+	Squashed bool
+}
+
+// Occupancy returns the number of cycles this residency occupied its entry.
+func (r *Residency) Occupancy() uint64 {
+	if r.Evict < r.Enq {
+		return 0
+	}
+	return r.Evict - r.Enq
+}
+
+// Trace is the full record of one simulation: everything the AVF analysis,
+// the false-DUE mechanisms, and the performance metrics need.
+type Trace struct {
+	// Cycles is the number of cycles simulated.
+	Cycles uint64
+	// Commits is the number of correct-path instructions committed
+	// (including no-ops and predicated-false instructions, matching the
+	// paper's instruction counting).
+	Commits uint64
+	// IQSize echoes the configured queue size.
+	IQSize int
+
+	// Residencies lists every IQ occupancy interval, in eviction order.
+	Residencies []Residency
+	// FrontEnd lists every fetch-buffer occupancy interval: Enq is the
+	// fetch cycle, Evict the delivery-to-decode or flush cycle; Issued
+	// marks delivered (read) entries. FrontEndCap is the buffer's
+	// capacity in instructions. Together they support the paper's §4.2
+	// discussion of π bits on fetch chunks.
+	FrontEnd    []Residency
+	FrontEndCap int
+	// StoreBuffer lists every store-buffer occupancy: Enq is the store's
+	// issue cycle, Evict its drain-to-cache cycle; every drained entry is
+	// "read" (its value is committed to memory). StoreBufferCap is the
+	// buffer's entry count. ForwardedLoads counts loads serviced by
+	// store-to-load forwarding instead of the cache.
+	StoreBuffer    []Residency
+	StoreBufferCap int
+	ForwardedLoads uint64
+	// CommitLog lists committed instructions in program (issue) order; the
+	// deadness analysis and the PET-buffer model consume it.
+	CommitLog []isa.Inst
+	// CommitCycles holds the cycle at which each CommitLog entry issued,
+	// index-parallel to CommitLog; the register-file AVF analysis uses it
+	// to integrate value lifetimes over time.
+	CommitCycles []uint64
+
+	// MaxSeq is the largest instruction sequence number observed.
+	MaxSeq uint64
+
+	// Exposure-action accounting.
+	Squashes        uint64 // squash events fired
+	SquashedEntries uint64 // IQ and front-end entries removed by squashes
+	Refetches       uint64 // squashed correct-path instructions refetched
+	ThrottleEvents  uint64
+	WrongFlushes    uint64 // entries removed by branch-resolution flushes
+
+	// LoadsByLevel counts correct-path loads by servicing level
+	// (cache.LevelL0..LevelMemory).
+	LoadsByLevel [4]uint64
+
+	// FetchStallCycles counts cycles fetch was blocked by squash/throttle
+	// stalls (not by IQ backpressure).
+	FetchStallCycles uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (t *Trace) IPC() float64 {
+	if t.Cycles == 0 {
+		return 0
+	}
+	return float64(t.Commits) / float64(t.Cycles)
+}
+
+// LoadMissRate returns the fraction of loads serviced beyond the given
+// cache level.
+func (t *Trace) LoadMissRate(level int) float64 {
+	var total, beyond uint64
+	for l, n := range t.LoadsByLevel {
+		total += n
+		if l > level {
+			beyond += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(beyond) / float64(total)
+}

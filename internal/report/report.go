@@ -1,0 +1,123 @@
+// Package report renders experiment results as aligned fixed-width text
+// tables (for terminals) and as CSV (for plotting), with small formatting
+// helpers shared by the command-line tools.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells are kept
+// (widening the table).
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Fprint writes the table, aligned, to w.
+func (t *Table) Fprint(w io.Writer) {
+	ncols := len(t.Columns)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for i := 0; i < ncols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Left-align the first column, right-align the rest (numeric).
+			if i == 0 {
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			} else {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+				b.WriteString(cell)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	writeRow(t.Columns)
+	total := ncols - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// CSV writes the table as CSV (header + rows) to w.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Pct formats a fraction as a percentage with one decimal ("28.7%").
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// F2 formats with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// F3 formats with three decimals.
+func F3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// Rel formats a ratio against 1.0 as a signed percentage change ("-26.1%").
+func Rel(x float64) string { return fmt.Sprintf("%+.1f%%", 100*(x-1)) }
+
+// Int formats an integer count.
+func Int(x uint64) string { return fmt.Sprintf("%d", x) }

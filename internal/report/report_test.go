@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Demo", "name", "ipc", "avf")
+	tb.AddRow("baseline", "1.21", "29.0%")
+	tb.AddRow("squash-l1", "1.19", "22.0%")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "baseline") || !strings.Contains(lines[4], "squash-l1") {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+	// Numeric columns right-aligned: the '%' signs line up.
+	if strings.Index(lines[3], "%") != strings.Index(lines[4], "%") {
+		t.Errorf("numeric column misaligned:\n%s", out)
+	}
+}
+
+func TestTableMissingAndExtraCells(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "z-extra")
+	out := tb.String()
+	if !strings.Contains(out, "z-extra") {
+		t.Error("extra cell dropped")
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("ignored", "a", "b")
+	tb.AddRow("1", "2")
+	tb.AddRow("3", "4,with-comma")
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "a,b\n1,2\n3,\"4,with-comma\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Pct(0.287), "28.7%"},
+		{F2(1.2345), "1.23"},
+		{F3(1.2345), "1.234"},
+		{Rel(0.739), "-26.1%"},
+		{Rel(1.15), "+15.0%"},
+		{Int(42), "42"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("formatted %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("Empty", "a", "b")
+	out := tb.String()
+	if !strings.Contains(out, "Empty") || !strings.Contains(out, "a") {
+		t.Fatalf("empty table render wrong:\n%s", out)
+	}
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\n" {
+		t.Fatalf("empty CSV = %q", b.String())
+	}
+}

@@ -1,0 +1,180 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator.
+//
+// Every stochastic component of the simulator (workload synthesis, fault
+// injection, cache address streams) draws from an explicitly seeded Stream
+// so that experiments are bit-for-bit reproducible across runs and across
+// machines. The package deliberately avoids math/rand's global state.
+//
+// The core generator is PCG32 (O'Neill, 2014): a 64-bit linear congruential
+// state with a 32-bit permuted output, which has excellent statistical
+// quality for its size and supports cheap independent sequences via the
+// stream-increment parameter. Seeds are pre-mixed with SplitMix64 so that
+// small or correlated user seeds still produce well-separated states.
+package rng
+
+// splitMix64 advances a SplitMix64 state and returns the next mixed value.
+// It is used only for seed expansion.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a deterministic PCG32 pseudo-random stream. The zero value is
+// not useful; construct Streams with New or Derive.
+type Stream struct {
+	state uint64
+	inc   uint64 // must be odd
+}
+
+// New returns a Stream seeded from seed and sequence. Distinct sequence
+// values yield statistically independent streams even for equal seeds.
+func New(seed, sequence uint64) *Stream {
+	mix := seed
+	s := &Stream{
+		inc: (splitMix64(&mix)^sequence)<<1 | 1,
+	}
+	s.state = splitMix64(&mix)
+	s.Uint32() // advance away from the all-zeros corner
+	return s
+}
+
+// Derive returns a new independent Stream keyed by label. It is the
+// preferred way to give each simulator component its own stream from a
+// single experiment seed: the parent stream is not perturbed.
+func (s *Stream) Derive(label string) *Stream {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return New(s.state^h, s.inc^(h>>1))
+}
+
+// Uint32 returns the next 32 random bits.
+func (s *Stream) Uint32() uint32 {
+	old := s.state
+	s.state = old*6364136223846793005 + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Stream) Uint64() uint64 {
+	return uint64(s.Uint32())<<32 | uint64(s.Uint32())
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// The implementation uses Lemire's multiply-shift rejection method,
+// which is unbiased.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	bound := uint32(n)
+	threshold := -bound % bound
+	for {
+		r := s.Uint32()
+		m := uint64(r) * uint64(bound)
+		if uint32(m) >= threshold {
+			return int(m >> 32)
+		}
+	}
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (s *Stream) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n called with non-positive n")
+	}
+	max := uint64(n)
+	// Rejection sampling over the smallest power-of-two envelope.
+	mask := uint64(1)
+	for mask < max {
+		mask <<= 1
+	}
+	mask--
+	for {
+		v := s.Uint64() & mask
+		if v < max {
+			return int64(v)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (s *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p: the number of failures before the first success, so the
+// mean is (1-p)/p. Useful for synthesising run lengths. p must be in (0,1].
+func (s *Stream) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric requires p in (0,1]")
+	}
+	n := 0
+	for !s.Bool(p) {
+		n++
+		if n >= 1<<20 { // statistically unreachable guard
+			break
+		}
+	}
+	return n
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Pick returns a uniformly random element index weighted by weights.
+// The weights need not be normalised; non-positive weights are treated as
+// zero. If all weights are zero, Pick returns 0.
+func (s *Stream) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	target := s.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,44 @@
+package scrub_test
+
+import (
+	"fmt"
+
+	"softerror/internal/scrub"
+)
+
+// Why the paper's single-bit fault model is safe for a scrubbed ECC cache:
+// at a day between scrubs, accumulated double strikes are over nine orders
+// of magnitude rarer than single-bit strikes.
+func ExampleModel_DoubleStrikeFIT() {
+	m := &scrub.Model{
+		Words:              (10 << 20) * 8 / 64, // 10MB L2, 64-bit ECC words
+		BitsPerWord:        64,
+		RawFITPerBit:       0.001,
+		ScrubIntervalHours: 24,
+	}
+	double, err := m.DoubleStrikeFIT()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	single := m.RawFITPerBit * float64(m.Words*m.BitsPerWord)
+	fmt.Printf("single-bit: %.0f FIT\n", single)
+	fmt.Printf("double-strike escapes: %.2e FIT\n", float64(double))
+	// Output:
+	// single-bit: 83886 FIT
+	// double-strike escapes: 6.44e-05 FIT
+}
+
+// Interleaving protection domains defeats spatial multi-bit strikes: a
+// factor-4 interleave leaves only the widest (rarest) strikes uncovered.
+func ExampleInterleave_DefeatProbability() {
+	for _, factor := range []int{1, 2, 4} {
+		iv := scrub.Interleave{Factor: factor, StrikeWidthProb: scrub.TypicalWidths()}
+		p, _ := iv.DefeatProbability()
+		fmt.Printf("interleave %d: %.3f of strikes defeat ECC\n", factor, p)
+	}
+	// Output:
+	// interleave 1: 0.030 of strikes defeat ECC
+	// interleave 2: 0.010 of strikes defeat ECC
+	// interleave 4: 0.001 of strikes defeat ECC
+}

@@ -1,0 +1,83 @@
+package scrub
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterleaveValidate(t *testing.T) {
+	bad := []Interleave{
+		{Factor: 0, StrikeWidthProb: TypicalWidths()},
+		{Factor: 2, StrikeWidthProb: nil},
+		{Factor: 2, StrikeWidthProb: []float64{-0.1, 0.5}},
+		{Factor: 2, StrikeWidthProb: []float64{0.9, 0.9}},
+	}
+	for i, iv := range bad {
+		if err := iv.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := Interleave{Factor: 2, StrikeWidthProb: TypicalWidths()}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefeatProbabilityTail(t *testing.T) {
+	widths := TypicalWidths()
+	// Factor 1 (no interleaving): every multi-bit strike defeats.
+	iv := Interleave{Factor: 1, StrikeWidthProb: widths}
+	p1, err := iv.DefeatProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTail := 0.0
+	for _, p := range widths[1:] {
+		wantTail += p
+	}
+	if math.Abs(p1-wantTail) > 1e-12 {
+		t.Fatalf("factor-1 defeat = %v, want %v", p1, wantTail)
+	}
+	// Increasing the factor monotonically shrinks the defeat probability.
+	prev := p1
+	for f := 2; f <= 6; f++ {
+		iv.Factor = f
+		p, _ := iv.DefeatProbability()
+		if p > prev+1e-15 {
+			t.Fatalf("defeat probability rose at factor %d", f)
+		}
+		prev = p
+	}
+	// A factor covering the whole distribution eliminates defeats.
+	iv.Factor = len(widths)
+	if p, _ := iv.DefeatProbability(); p != 0 {
+		t.Fatalf("full interleave leaves %v", p)
+	}
+}
+
+func TestDefeatFIT(t *testing.T) {
+	iv := Interleave{Factor: 2, StrikeWidthProb: TypicalWidths()}
+	fit, err := iv.DefeatFIT(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := iv.DefeatProbability()
+	if math.Abs(float64(fit)-1000*p) > 1e-9 {
+		t.Fatalf("DefeatFIT = %v, want %v", fit, 1000*p)
+	}
+}
+
+func TestSimulateDefeatsMatches(t *testing.T) {
+	iv := Interleave{Factor: 2, StrikeWidthProb: TypicalWidths()}
+	want, _ := iv.DefeatProbability()
+	got, err := iv.SimulateDefeats(300_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.002 {
+		t.Fatalf("simulated %v vs analytic %v", got, want)
+	}
+	if _, err := iv.SimulateDefeats(0, 1); err == nil {
+		t.Fatal("zero strikes accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package scrub
+
+import (
+	"math"
+	"testing"
+)
+
+// A 10MB ECC cache with 64-bit protection words at a generous raw rate.
+func sampleModel() *Model {
+	return &Model{
+		Words:              (10 << 20) * 8 / 64,
+		BitsPerWord:        64,
+		RawFITPerBit:       0.001,
+		ScrubIntervalHours: 24,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Model){
+		func(m *Model) { m.Words = 0 },
+		func(m *Model) { m.BitsPerWord = 0 },
+		func(m *Model) { m.RawFITPerBit = 0 },
+		func(m *Model) { m.ScrubIntervalHours = 0 },
+	}
+	for i, mutate := range bad {
+		m := sampleModel()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := m.DoubleStrikeFIT(); err == nil {
+			t.Errorf("case %d: DoubleStrikeFIT accepted invalid model", i)
+		}
+	}
+}
+
+func TestExactMatchesApproximation(t *testing.T) {
+	m := sampleModel()
+	exact, err := m.DoubleStrikeFIT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := m.Approximate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact <= 0 || approx <= 0 {
+		t.Fatalf("rates must be positive: %v %v", exact, approx)
+	}
+	if rel := math.Abs(float64(exact-approx)) / float64(approx); rel > 0.01 {
+		t.Fatalf("exact %v vs approx %v differ by %.2f%%", exact, approx, 100*rel)
+	}
+}
+
+func TestScrubbingLinearlySuppresses(t *testing.T) {
+	// Halving the scrub interval halves the double-strike rate — the §2
+	// design lever.
+	m := sampleModel()
+	slow, _ := m.DoubleStrikeFIT()
+	m.ScrubIntervalHours /= 2
+	fast, _ := m.DoubleStrikeFIT()
+	ratio := float64(slow) / float64(fast)
+	if math.Abs(ratio-2) > 0.02 {
+		t.Fatalf("interval halving changed rate by %.3fx, want ~2x", ratio)
+	}
+}
+
+func TestMultiBitOrdersOfMagnitudeBelowSingleBit(t *testing.T) {
+	// The paper's justification for the single-bit model: even at a whole
+	// day between scrubs, double strikes are many orders of magnitude
+	// rarer than single-bit strikes.
+	m := sampleModel()
+	double, _ := m.DoubleStrikeFIT()
+	single := m.RawFITPerBit * float64(m.Words*m.BitsPerWord)
+	if float64(double) > single*1e-6 {
+		t.Fatalf("double-strike rate %v not ≪ single-bit rate %v", double, single)
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	// A small, hot model so the Monte Carlo sees events: few words, huge
+	// raw rate, long interval.
+	m := &Model{Words: 200, BitsPerWord: 64, RawFITPerBit: 5e5, ScrubIntervalHours: 1}
+	exact, err := m.DoubleStrikeFIT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := m.Simulate(4000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(float64(sim-exact)) / float64(exact); rel > 0.10 {
+		t.Fatalf("simulated %v vs analytic %v differ by %.1f%%", sim, exact, 100*rel)
+	}
+	if _, err := m.Simulate(0, 1); err == nil {
+		t.Fatal("zero intervals accepted")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	m := &Model{Words: 100, BitsPerWord: 64, RawFITPerBit: 5e4, ScrubIntervalHours: 1}
+	a, _ := m.Simulate(500, 3)
+	b, _ := m.Simulate(500, 3)
+	if a != b {
+		t.Fatalf("non-deterministic simulation: %v vs %v", a, b)
+	}
+}

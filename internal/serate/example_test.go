@@ -1,0 +1,38 @@
+package serate_test
+
+import (
+	"fmt"
+
+	"softerror/internal/serate"
+)
+
+// The paper's §3.2 worked example: a 2 GHz processor with IPC 2 and a
+// 10-year DUE MTTF commits about 1.3×10^18 instructions between errors.
+func ExampleMITF() {
+	mttfHours := 10 * 365.0 * 24
+	mitf := serate.MITF(2, 2e9, mttfHours)
+	fmt.Printf("%.1e instructions\n", mitf)
+	// Output:
+	// 1.3e+18 instructions
+}
+
+// Composing a processor's SDC and DUE rates over its devices (§2): only
+// unprotected devices contribute SDC, only detection-protected devices
+// contribute DUE.
+func ExampleRates() {
+	sdc, due := serate.Rates([]serate.Device{
+		{Name: "iq-parity", RawFIT: 100, DUEAVF: 0.62},
+		{Name: "pc-unprotected", RawFIT: 10, SDCAVF: 1.0},
+		{Name: "bpred", RawFIT: 50}, // AVF 0: never matters
+	})
+	fmt.Printf("SDC %.0f FIT, DUE %.0f FIT\n", float64(sdc), float64(due))
+	// Output:
+	// SDC 10 FIT, DUE 62 FIT
+}
+
+// One year of MTBF is 114155 FIT (§2).
+func ExampleFIT_MTTFYears() {
+	fmt.Printf("%.2f years\n", serate.FIT(114155).MTTFYears())
+	// Output:
+	// 1.00 years
+}

@@ -1,0 +1,102 @@
+// Package serate implements the soft-error-rate arithmetic of §2 and §3.2
+// of the paper: FIT/MTTF conversions, the composition of a processor's SDC
+// and DUE rates from per-device raw rates and AVFs, and the MITF (Mean
+// Instructions To Failure) metric that captures the performance–reliability
+// trade-off of exposure-reduction techniques.
+package serate
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIT is a failure rate in Failures In Time: one FIT is one failure per
+// billion device-hours.
+type FIT float64
+
+// HoursPerBillion is the number of device-hours in which a 1-FIT device
+// fails once.
+const HoursPerBillion = 1e9
+
+// MTTFYearFIT is the FIT rate equivalent to an MTTF of one year
+// (10^9 / (24*365) ≈ 114155), as computed in §2 of the paper.
+const MTTFYearFIT = HoursPerBillion / (24 * 365)
+
+// MTTFYears converts a FIT rate to mean time to failure in years.
+// A zero rate yields +Inf.
+func (f FIT) MTTFYears() float64 {
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return float64(MTTFYearFIT) / float64(f)
+}
+
+// MTTFHours converts a FIT rate to mean time to failure in hours.
+func (f FIT) MTTFHours() float64 {
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return HoursPerBillion / float64(f)
+}
+
+// FromMTTFYears returns the FIT rate for a given MTTF in years.
+func FromMTTFYears(years float64) FIT {
+	if years <= 0 {
+		return FIT(math.Inf(1))
+	}
+	return FIT(MTTFYearFIT / years)
+}
+
+// Device is one vulnerable structure: a raw circuit-level error rate
+// (proportional to its bit count) and its architectural vulnerability
+// factors. A device protected by error detection only (parity) contributes
+// its DUE AVF; an unprotected device contributes its SDC AVF; an
+// ECC-corrected device contributes neither.
+type Device struct {
+	Name   string
+	RawFIT FIT     // raw soft-error rate of the device's bits
+	SDCAVF float64 // probability a strike becomes silent data corruption
+	DUEAVF float64 // probability a strike becomes a detected unrecoverable error
+}
+
+// Rates composes total SDC and DUE FIT rates over a set of devices,
+// implementing the summations of §2.1 and §2.2.
+func Rates(devices []Device) (sdc, due FIT) {
+	for _, d := range devices {
+		sdc += FIT(float64(d.RawFIT) * d.SDCAVF)
+		due += FIT(float64(d.RawFIT) * d.DUEAVF)
+	}
+	return sdc, due
+}
+
+// MITF computes Mean Instructions To Failure from IPC, clock frequency in
+// hertz, and an MTTF in hours: MITF = IPC × frequency × MTTF (§3.2).
+func MITF(ipc, frequencyHz, mttfHours float64) float64 {
+	return ipc * frequencyHz * mttfHours * 3600
+}
+
+// MITFFromAVF computes MITF directly from the raw error rate and AVF:
+// MITF = (frequency / raw error rate) × (IPC / AVF). At fixed frequency and
+// raw rate, MITF is proportional to IPC/AVF — the paper's figure of merit
+// for squashing policies.
+func MITFFromAVF(ipc, frequencyHz float64, raw FIT, avf float64) float64 {
+	if raw <= 0 || avf <= 0 {
+		return math.Inf(1)
+	}
+	mttfHours := (FIT(float64(raw) * avf)).MTTFHours()
+	return MITF(ipc, frequencyHz, mttfHours)
+}
+
+// Merit is the paper's dimensionless MITF proxy IPC/AVF (Table 1's last two
+// columns). Infinite when AVF is zero.
+func Merit(ipc, avf float64) float64 {
+	if avf <= 0 {
+		return math.Inf(1)
+	}
+	return ipc / avf
+}
+
+// String renders a FIT value with its MTTF equivalent.
+func (f FIT) String() string {
+	return fmt.Sprintf("%.1f FIT (MTTF %.2f years)", float64(f), f.MTTFYears())
+}

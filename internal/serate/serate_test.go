@@ -1,0 +1,119 @@
+package serate
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*math.Abs(want) {
+		t.Errorf("%s = %v, want ~%v", name, got, want)
+	}
+}
+
+func TestMTTFYearConstant(t *testing.T) {
+	// The paper: an MTBF of one year equals 114,155 FIT.
+	approx(t, "MTTFYearFIT", MTTFYearFIT, 114155, 1e-4)
+}
+
+func TestFITMTTFRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		fit := FIT(float64(raw%1000000) + 1)
+		back := FromMTTFYears(fit.MTTFYears())
+		return math.Abs(float64(back-fit)) < 1e-6*float64(fit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroFITInfiniteMTTF(t *testing.T) {
+	if !math.IsInf(FIT(0).MTTFYears(), 1) || !math.IsInf(FIT(0).MTTFHours(), 1) {
+		t.Fatal("zero FIT should give infinite MTTF")
+	}
+	if !math.IsInf(float64(FromMTTFYears(0)), 1) {
+		t.Fatal("zero MTTF should give infinite FIT")
+	}
+}
+
+func TestRatesComposition(t *testing.T) {
+	devices := []Device{
+		{Name: "iq-unprotected", RawFIT: 100, SDCAVF: 0.29, DUEAVF: 0},
+		{Name: "iq-parity", RawFIT: 100, SDCAVF: 0, DUEAVF: 0.62},
+		{Name: "pc", RawFIT: 10, SDCAVF: 1.0, DUEAVF: 0},
+		{Name: "bpred", RawFIT: 50, SDCAVF: 0, DUEAVF: 0},
+	}
+	sdc, due := Rates(devices)
+	approx(t, "sdc", float64(sdc), 100*0.29+10, 1e-12)
+	approx(t, "due", float64(due), 100*0.62, 1e-12)
+}
+
+func TestRatesEmpty(t *testing.T) {
+	sdc, due := Rates(nil)
+	if sdc != 0 || due != 0 {
+		t.Fatal("empty device list should compose to zero rates")
+	}
+}
+
+func TestMITFPaperExample(t *testing.T) {
+	// §3.2: a 2 GHz processor with IPC 2 and a DUE MTTF of 10 years has a
+	// DUE MITF of 1.3e18 instructions.
+	mttfHours := 10 * 365.0 * 24
+	got := MITF(2, 2e9, mttfHours)
+	approx(t, "paper MITF example", got, 1.3e18, 0.03)
+}
+
+func TestMITFFromAVFConsistency(t *testing.T) {
+	// MITFFromAVF must equal MITF with MTTF = 1/(raw*AVF).
+	raw, avf := FIT(200), 0.3
+	ipc, freq := 1.2, 2.5e9
+	mttfHours := FIT(float64(raw) * avf).MTTFHours()
+	want := MITF(ipc, freq, mttfHours)
+	got := MITFFromAVF(ipc, freq, raw, avf)
+	approx(t, "MITFFromAVF", got, want, 1e-12)
+}
+
+func TestMITFProportionalToIPCOverAVF(t *testing.T) {
+	// At fixed frequency and raw rate, MITF ∝ IPC/AVF (§3.2): doubling
+	// IPC/AVF doubles MITF.
+	base := MITFFromAVF(1.0, 2.5e9, 100, 0.3)
+	doubledIPC := MITFFromAVF(2.0, 2.5e9, 100, 0.3)
+	halvedAVF := MITFFromAVF(1.0, 2.5e9, 100, 0.15)
+	approx(t, "2x IPC", doubledIPC, 2*base, 1e-9)
+	approx(t, "0.5x AVF", halvedAVF, 2*base, 1e-9)
+}
+
+func TestMeritTable1Shape(t *testing.T) {
+	// Table 1's merit columns: squashing on L1 misses must raise IPC/AVF
+	// when the AVF reduction outpaces the IPC loss.
+	baseline := Merit(1.21, 0.29)
+	squashL1 := Merit(1.19, 0.22)
+	if squashL1 <= baseline {
+		t.Fatalf("L1 squash merit %v should exceed baseline %v", squashL1, baseline)
+	}
+	// The paper reports +37% from unrounded AVFs; the rounded Table 1
+	// values give ~+30%.
+	gain := squashL1/baseline - 1
+	if gain < 0.25 || gain > 0.45 {
+		t.Fatalf("Table 1 SDC merit gain = %v, want in [0.25, 0.45]", gain)
+	}
+}
+
+func TestMeritEdge(t *testing.T) {
+	if !math.IsInf(Merit(1, 0), 1) {
+		t.Fatal("zero AVF should give infinite merit")
+	}
+	if !math.IsInf(MITFFromAVF(1, 1e9, 0, 0.5), 1) {
+		t.Fatal("zero raw rate should give infinite MITF")
+	}
+}
+
+func TestFITString(t *testing.T) {
+	s := FIT(114155).String()
+	if !strings.Contains(s, "FIT") || !strings.Contains(s, "1.00 years") {
+		t.Fatalf("FIT.String() = %q", s)
+	}
+}

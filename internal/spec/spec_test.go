@@ -1,0 +1,144 @@
+package spec
+
+import (
+	"testing"
+
+	"softerror/internal/workload"
+)
+
+func TestRosterSize(t *testing.T) {
+	all := All()
+	if len(all) != 26 {
+		t.Fatalf("roster has %d benchmarks, want 26 (Table 2)", len(all))
+	}
+	if n := len(Integer()); n != 12 {
+		t.Fatalf("integer roster = %d, want 12", n)
+	}
+	if n := len(FloatingPoint()); n != 14 {
+		t.Fatalf("fp roster = %d, want 14", n)
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, b := range All() {
+		if err := b.Params.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if b.Params.Name != b.Name {
+			t.Errorf("%s: params name %q mismatched", b.Name, b.Params.Name)
+		}
+		if b.Params.FloatingPoint != b.FP {
+			t.Errorf("%s: FP flag mismatch", b.Name)
+		}
+	}
+}
+
+func TestNamesUniqueAndSeedsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	seeds := map[uint64]string{}
+	for _, b := range All() {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %s", b.Name)
+		}
+		seen[b.Name] = true
+		if other, dup := seeds[b.Params.Seed]; dup {
+			t.Errorf("seed collision between %s and %s", b.Name, other)
+		}
+		seeds[b.Params.Seed] = b.Name
+	}
+}
+
+func TestTable2SkipValues(t *testing.T) {
+	// Spot-check the paper's Table 2 skip distances.
+	want := map[string]int{
+		"bzip2-source":     48900,
+		"crafty":           120600,
+		"mcf":              26200,
+		"perlbmk-makerand": 0,
+		"twolf":            185400,
+		"ammp":             50900,
+		"lucas":            123500,
+		"wupwise":          23800,
+		"apsi":             100,
+	}
+	for name, skip := range want {
+		b, ok := ByName(name)
+		if !ok {
+			t.Errorf("benchmark %s missing", name)
+			continue
+		}
+		if b.SkippedM != skip {
+			t.Errorf("%s skip = %d M, want %d M", name, b.SkippedM, skip)
+		}
+	}
+}
+
+func TestByNameMiss(t *testing.T) {
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName found a benchmark that does not exist")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 26 {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted at %d: %s >= %s", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestIntFPCharacterSplit(t *testing.T) {
+	// The behavioural axes the paper relies on: FP benchmarks carry more
+	// neutral instructions and fewer mispredictions than integer ones, on
+	// average.
+	avg := func(bs []Benchmark, f func(workload.Params) float64) float64 {
+		s := 0.0
+		for _, b := range bs {
+			s += f(b.Params)
+		}
+		return s / float64(len(bs))
+	}
+	neutral := func(p workload.Params) float64 { return p.NopFrac + p.PrefetchFrac + p.HintFrac }
+	mispred := func(p workload.Params) float64 { return p.MispredictRate }
+	pred := func(p workload.Params) float64 { return p.PredicatedFrac }
+
+	ints, fps := Integer(), FloatingPoint()
+	if avg(fps, neutral) <= avg(ints, neutral) {
+		t.Error("FP benchmarks should carry more neutral instructions than INT")
+	}
+	if avg(fps, mispred) >= avg(ints, mispred) {
+		t.Error("FP benchmarks should mispredict less than INT")
+	}
+	if avg(fps, pred) >= avg(ints, pred) {
+		t.Error("FP benchmarks should be less predicated than INT")
+	}
+}
+
+func TestProfilesGenerate(t *testing.T) {
+	// Every profile must drive the generator without error.
+	for _, b := range All() {
+		g, err := workload.New(b.Params)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		for i := 0; i < 1000; i++ {
+			in := g.Next()
+			if !in.Class.Valid() {
+				t.Fatalf("%s: invalid instruction %v", b.Name, in)
+			}
+		}
+	}
+}
+
+func TestAllReturnsFreshCopies(t *testing.T) {
+	a := All()
+	a[0].Params.LoadFrac = 0.99
+	b := All()
+	if b[0].Params.LoadFrac == 0.99 {
+		t.Fatal("All() exposes shared state")
+	}
+}

@@ -1,0 +1,150 @@
+// Package sweep runs design-space grids over the simulator: the cross
+// product of benchmarks, exposure policies, queue sizes and issue
+// disciplines, with one long-format row per cell — the shape plotting
+// tools want. It powers cmd/sweep and the ablation studies beyond the
+// paper's fixed design points.
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"softerror/internal/core"
+	"softerror/internal/pipeline"
+	"softerror/internal/serate"
+	"softerror/internal/spec"
+)
+
+// Grid describes the design space to sweep. Every axis must be non-empty;
+// the run covers the full cross product.
+type Grid struct {
+	Benches    []spec.Benchmark
+	Policies   []core.Policy
+	IQSizes    []int
+	OutOfOrder []bool
+	// Commits per cell (default core.DefaultCommits).
+	Commits uint64
+}
+
+// Row is one cell's measurements.
+type Row struct {
+	Bench      string
+	FP         bool
+	Policy     core.Policy
+	IQSize     int
+	OutOfOrder bool
+
+	IPC         float64
+	SDCAVF      float64
+	DUEAVF      float64
+	FalseDUEAVF float64
+	MeritSDC    float64 // IPC / SDC AVF, the MITF proxy
+	Squashes    uint64
+}
+
+// Size returns the number of cells in the grid.
+func (g *Grid) Size() int {
+	return len(g.Benches) * len(g.Policies) * len(g.IQSizes) * len(g.OutOfOrder)
+}
+
+func (g *Grid) validate() error {
+	if len(g.Benches) == 0 || len(g.Policies) == 0 ||
+		len(g.IQSizes) == 0 || len(g.OutOfOrder) == 0 {
+		return fmt.Errorf("sweep: every grid axis needs at least one value")
+	}
+	for _, n := range g.IQSizes {
+		if n < 1 {
+			return fmt.Errorf("sweep: IQ size %d invalid", n)
+		}
+	}
+	return nil
+}
+
+// Run executes the grid in axis order (benchmark-major) and returns one
+// row per cell. progress, if non-nil, is called after each cell.
+func (g *Grid) Run(progress func(done, total int)) ([]Row, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	commits := g.Commits
+	if commits == 0 {
+		commits = core.DefaultCommits
+	}
+	total := g.Size()
+	rows := make([]Row, 0, total)
+	for _, b := range g.Benches {
+		for _, pol := range g.Policies {
+			for _, iq := range g.IQSizes {
+				for _, ooo := range g.OutOfOrder {
+					cfg := pipeline.DefaultConfig()
+					pol.Apply(&cfg)
+					cfg.IQSize = iq
+					cfg.OutOfOrder = ooo
+					res, err := core.Run(core.Config{
+						Workload: b.Params,
+						Pipeline: cfg,
+						Commits:  commits,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("sweep: %s/%v/iq%d/ooo=%v: %w",
+							b.Name, pol, iq, ooo, err)
+					}
+					rows = append(rows, Row{
+						Bench:       b.Name,
+						FP:          b.FP,
+						Policy:      pol,
+						IQSize:      iq,
+						OutOfOrder:  ooo,
+						IPC:         res.IPC,
+						SDCAVF:      res.Report.SDCAVF(),
+						DUEAVF:      res.Report.DUEAVF(),
+						FalseDUEAVF: res.Report.FalseDUEAVF(),
+						MeritSDC:    serate.Merit(res.IPC, res.Report.SDCAVF()),
+						Squashes:    res.Squashes,
+					})
+					if progress != nil {
+						progress(len(rows), total)
+					}
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// csvHeader is the long-format column set.
+var csvHeader = []string{
+	"bench", "suite", "policy", "iq_size", "out_of_order",
+	"ipc", "sdc_avf", "due_avf", "false_due_avf", "merit_sdc", "squashes",
+}
+
+// WriteCSV emits the rows in long format with a header.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		suite := "int"
+		if r.FP {
+			suite = "fp"
+		}
+		rec := []string{
+			r.Bench, suite, r.Policy.String(),
+			strconv.Itoa(r.IQSize), strconv.FormatBool(r.OutOfOrder),
+			fmt.Sprintf("%.4f", r.IPC),
+			fmt.Sprintf("%.6f", r.SDCAVF),
+			fmt.Sprintf("%.6f", r.DUEAVF),
+			fmt.Sprintf("%.6f", r.FalseDUEAVF),
+			fmt.Sprintf("%.4f", r.MeritSDC),
+			strconv.FormatUint(r.Squashes, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

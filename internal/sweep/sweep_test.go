@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"softerror/internal/core"
+	"softerror/internal/spec"
+)
+
+func smallGrid(t *testing.T) *Grid {
+	t.Helper()
+	var benches []spec.Benchmark
+	for _, name := range []string{"gzip-graphic", "ammp"} {
+		b, ok := spec.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		benches = append(benches, b)
+	}
+	return &Grid{
+		Benches:    benches,
+		Policies:   []core.Policy{core.PolicyBaseline, core.PolicySquashL1},
+		IQSizes:    []int{32, 64},
+		OutOfOrder: []bool{false},
+		Commits:    6000,
+	}
+}
+
+func TestGridSizeAndRun(t *testing.T) {
+	g := smallGrid(t)
+	if g.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", g.Size())
+	}
+	var calls int
+	rows, err := g.Run(func(done, total int) {
+		calls++
+		if total != 8 || done != calls {
+			t.Fatalf("progress(%d, %d) at call %d", done, total, calls)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.IPC <= 0 || r.SDCAVF <= 0 || r.DUEAVF <= r.SDCAVF {
+			t.Fatalf("implausible row: %+v", r)
+		}
+		if r.Policy == core.PolicySquashL1 && r.Squashes == 0 {
+			t.Fatalf("squash cell without squashes: %+v", r)
+		}
+	}
+}
+
+func TestGridIQSizeTrend(t *testing.T) {
+	// Within a benchmark, a larger queue pools more state: SDC AVF should
+	// not collapse as size grows (typically it rises).
+	g := smallGrid(t)
+	rows, err := g.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Row{}
+	for _, r := range rows {
+		if r.Policy == core.PolicyBaseline {
+			byKey[r.Bench+string(rune(r.IQSize))] = r
+		}
+	}
+	small := byKey["gzip-graphic"+string(rune(32))]
+	large := byKey["gzip-graphic"+string(rune(64))]
+	if large.SDCAVF < 0.5*small.SDCAVF {
+		t.Fatalf("doubling the IQ collapsed the AVF: %.3f -> %.3f", small.SDCAVF, large.SDCAVF)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	g := smallGrid(t)
+	g.Policies = nil
+	if _, err := g.Run(nil); err == nil {
+		t.Fatal("empty axis accepted")
+	}
+	g = smallGrid(t)
+	g.IQSizes = []int{0}
+	if _, err := g.Run(nil); err == nil {
+		t.Fatal("zero IQ size accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Row{{
+		Bench: "mcf", FP: false, Policy: core.PolicySquashL1,
+		IQSize: 64, OutOfOrder: true,
+		IPC: 1.5, SDCAVF: 0.25, DUEAVF: 0.5, FalseDUEAVF: 0.25,
+		MeritSDC: 6, Squashes: 42,
+	}}
+	var b strings.Builder
+	if err := WriteCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "bench,suite,policy,iq_size,out_of_order") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, want := range []string{"mcf", "int", "64", "true", "1.5000", "0.250000", "42"} {
+		if !strings.Contains(lines[1], want) {
+			t.Fatalf("row %q missing %q", lines[1], want)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"softerror/internal/isa"
+	"softerror/internal/rng"
+)
+
+// Replay is a pipeline Source that replays a fixed instruction sequence in
+// a loop — a hand-written kernel, a parsed program (ParseProgram), or a
+// stream captured from elsewhere. It stamps fresh sequence numbers each
+// iteration, so the pipeline sees an infinite dynamic stream, the way a
+// loop kernel executes.
+type Replay struct {
+	body  []isa.Inst
+	idx   int
+	seq   uint64
+	pc    uint64
+	wrong *rng.Stream
+}
+
+// NewReplay builds a replay source over the given instruction body. The
+// body must be non-empty; Seq/PC fields in it are ignored (re-stamped).
+func NewReplay(body []isa.Inst, seed uint64) (*Replay, error) {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("workload: empty replay body")
+	}
+	return &Replay{
+		body:  body,
+		pc:    0x4000_0000,
+		wrong: rng.New(seed, 0x4e94).Derive("replay-wrong"),
+	}, nil
+}
+
+// MustParseReplay parses a kernel program and wraps it in a Replay; it
+// panics on parse errors (intended for tests and examples with literal
+// programs).
+func MustParseReplay(program string, seed uint64) *Replay {
+	body, err := ParseProgram(program)
+	if err != nil {
+		panic(err)
+	}
+	r, err := NewReplay(body, seed)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Next implements pipeline.Source.
+func (r *Replay) Next() isa.Inst {
+	in := r.body[r.idx]
+	r.idx = (r.idx + 1) % len(r.body)
+	in.Seq = r.seq
+	in.PC = r.pc
+	r.seq++
+	r.pc += 4
+	return in
+}
+
+// NextWrong implements pipeline.Source with simple synthetic wrong-path
+// fill (the replayed program itself defines only the correct path).
+func (r *Replay) NextWrong() isa.Inst {
+	in := isa.Inst{
+		Seq: r.seq, PC: r.pc, WrongPath: true,
+		Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone,
+		PredGuard: isa.RegNone,
+	}
+	r.seq++
+	r.pc += 4
+	if r.wrong.Bool(0.5) {
+		in.Class = isa.ClassALU
+		in.Dest = isa.IntReg(1 + r.wrong.Intn(30))
+		in.Src1 = isa.IntReg(1 + r.wrong.Intn(30))
+	} else {
+		in.Class = isa.ClassNop
+	}
+	return in
+}
+
+// ParseProgram parses the kernel mini-language into an instruction body.
+// One instruction per line; '#' starts a comment; blank lines are skipped.
+//
+//	alu r5 r1 r2          # r5 = f(r1, r2); "-" for an absent operand
+//	cmp p3 r1 r2          # compare writing predicate p3
+//	load r6 r1 0x1000     # r6 = mem[0x1000], address base r1
+//	store r1 r2 0x1000    # mem[0x1000] = r1, address base r2
+//	prefetch r1 0x2000
+//	nop | hint
+//	br r1 taken           # conditional branch; add "mispred" for wrong path
+//	br p3 taken mispred
+//	call | ret
+//	(p3) alu r5 r1 -      # predicated, guard true
+//	(p3!) alu r5 r1 -     # predicated, guard evaluated false
+//
+// Call depth is tracked so the deadness analysis can classify return-dead
+// locals; ret below depth zero is an error.
+func ParseProgram(text string) ([]isa.Inst, error) {
+	var out []isa.Inst
+	depth := 0
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		in := isa.Inst{
+			Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone,
+			PredGuard: isa.RegNone,
+		}
+		// Optional guard prefix.
+		if strings.HasPrefix(fields[0], "(") {
+			g := strings.TrimPrefix(strings.TrimSuffix(fields[0], ")"), "(")
+			if strings.HasSuffix(g, "!") {
+				in.PredFalse = true
+				g = strings.TrimSuffix(g, "!")
+			}
+			pr, err := parseReg(g)
+			if err != nil || !pr.IsPred() {
+				return nil, fmt.Errorf("line %d: bad guard %q", lineNo+1, fields[0])
+			}
+			in.PredGuard = pr
+			fields = fields[1:]
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("line %d: guard without instruction", lineNo+1)
+			}
+		}
+		op := fields[0]
+		args := fields[1:]
+		var err error
+		switch op {
+		case "alu", "fpu", "cmp":
+			in.Class = isa.ClassALU
+			if op == "fpu" {
+				in.Class = isa.ClassFPU
+			}
+			if len(args) < 1 {
+				return nil, fmt.Errorf("line %d: %s needs a destination", lineNo+1, op)
+			}
+			if in.Dest, err = parseReg(args[0]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			if op == "cmp" && !in.Dest.IsPred() {
+				return nil, fmt.Errorf("line %d: cmp must write a predicate", lineNo+1)
+			}
+			if len(args) > 1 {
+				if in.Src1, err = parseOperand(args[1]); err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+				}
+			}
+			if len(args) > 2 {
+				if in.Src2, err = parseOperand(args[2]); err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+				}
+			}
+		case "load":
+			in.Class = isa.ClassLoad
+			if len(args) != 3 {
+				return nil, fmt.Errorf("line %d: load needs dest, base, addr", lineNo+1)
+			}
+			if in.Dest, err = parseReg(args[0]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			if in.Src1, err = parseOperand(args[1]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			if in.Addr, err = parseAddr(args[2]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			in.MemSize = 8
+		case "store":
+			in.Class = isa.ClassStore
+			if len(args) != 3 {
+				return nil, fmt.Errorf("line %d: store needs value, base, addr", lineNo+1)
+			}
+			if in.Src1, err = parseReg(args[0]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			if in.Src2, err = parseOperand(args[1]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			if in.Addr, err = parseAddr(args[2]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			in.MemSize = 8
+		case "prefetch":
+			in.Class = isa.ClassPrefetch
+			if len(args) != 2 {
+				return nil, fmt.Errorf("line %d: prefetch needs base, addr", lineNo+1)
+			}
+			if in.Src1, err = parseReg(args[0]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			if in.Addr, err = parseAddr(args[1]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			in.MemSize = 64
+		case "nop":
+			in.Class = isa.ClassNop
+		case "hint":
+			in.Class = isa.ClassHint
+		case "br":
+			in.Class = isa.ClassBranch
+			if len(args) < 1 {
+				return nil, fmt.Errorf("line %d: br needs a source", lineNo+1)
+			}
+			if in.Src1, err = parseReg(args[0]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			for _, a := range args[1:] {
+				switch a {
+				case "taken":
+					in.Taken = true
+				case "mispred":
+					in.Mispred = true
+				default:
+					return nil, fmt.Errorf("line %d: unknown branch attribute %q", lineNo+1, a)
+				}
+			}
+		case "call":
+			in.Class = isa.ClassCall
+			in.Taken = true
+			depth++
+		case "ret":
+			in.Class = isa.ClassReturn
+			in.Taken = true
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("line %d: ret below depth zero", lineNo+1)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown opcode %q", lineNo+1, op)
+		}
+		in.CallDepth = uint8(depth)
+		out = append(out, in)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty program")
+	}
+	return out, nil
+}
+
+func parseOperand(s string) (isa.Reg, error) {
+	if s == "-" {
+		return isa.RegNone, nil
+	}
+	return parseReg(s)
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if len(s) < 2 {
+		return isa.RegNone, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return isa.RegNone, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		if n < 0 || n >= isa.NumIntRegs {
+			return isa.RegNone, fmt.Errorf("integer register %q out of range", s)
+		}
+		return isa.IntReg(n), nil
+	case 'f':
+		if n < 0 || n >= isa.NumFPRegs {
+			return isa.RegNone, fmt.Errorf("fp register %q out of range", s)
+		}
+		return isa.FPReg(n), nil
+	case 'p':
+		if n < 0 || n >= isa.NumPredRegs {
+			return isa.RegNone, fmt.Errorf("predicate register %q out of range", s)
+		}
+		return isa.PredReg(n), nil
+	default:
+		return isa.RegNone, fmt.Errorf("bad register %q", s)
+	}
+}
+
+func parseAddr(s string) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 64)
+	if err != nil {
+		v, err = strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad address %q", s)
+		}
+	}
+	return v, nil
+}

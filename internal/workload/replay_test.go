@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"softerror/internal/isa"
+)
+
+const sampleKernel = `
+# stream kernel: load, compute, store, with a dead write and a branch
+load r5 r1 0x1000
+alu r6 r5 r2
+store r6 r3 0x1008
+alu r120 r6 -        # dead: r120 never read, overwritten next iteration
+cmp p3 r6 r2
+(p3) alu r7 r6 -
+(p3!) alu r8 r6 -
+nop
+br p3 taken
+`
+
+func TestParseProgramBasics(t *testing.T) {
+	body, err := ParseProgram(sampleKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 9 {
+		t.Fatalf("parsed %d instructions, want 9", len(body))
+	}
+	ld := body[0]
+	if ld.Class != isa.ClassLoad || ld.Dest != isa.IntReg(5) || ld.Src1 != isa.IntReg(1) || ld.Addr != 0x1000 {
+		t.Fatalf("load parsed wrong: %v", ld)
+	}
+	st := body[2]
+	if st.Class != isa.ClassStore || st.Src1 != isa.IntReg(6) || st.Src2 != isa.IntReg(3) || st.Addr != 0x1008 {
+		t.Fatalf("store parsed wrong: %v", st)
+	}
+	cmp := body[4]
+	if !cmp.Dest.IsPred() {
+		t.Fatalf("cmp dest not a predicate: %v", cmp)
+	}
+	guarded := body[5]
+	if guarded.PredGuard != isa.PredReg(3) || guarded.PredFalse {
+		t.Fatalf("guarded inst parsed wrong: %v", guarded)
+	}
+	pf := body[6]
+	if !pf.PredFalse {
+		t.Fatalf("pred-false marker lost: %v", pf)
+	}
+	br := body[8]
+	if br.Class != isa.ClassBranch || !br.Taken || br.Mispred {
+		t.Fatalf("branch parsed wrong: %v", br)
+	}
+}
+
+func TestParseProgramCallDepth(t *testing.T) {
+	body, err := ParseProgram("call\nalu r40 r1 -\nret\nalu r40 r2 -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body[1].CallDepth != 1 {
+		t.Fatalf("callee depth = %d, want 1", body[1].CallDepth)
+	}
+	if body[3].CallDepth != 0 {
+		t.Fatalf("post-return depth = %d, want 0", body[3].CallDepth)
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	bad := map[string]string{
+		"unknown op":       "frobnicate r1",
+		"bad register":     "alu rX r1 -",
+		"out of range":     "alu r500 r1 -",
+		"cmp non-pred":     "cmp r5 r1 r2",
+		"load arity":       "load r5 r1",
+		"store arity":      "store r5 0x10",
+		"bad address":      "load r5 r1 zz",
+		"unbalanced ret":   "ret",
+		"empty":            "   \n# only comments\n",
+		"guard not pred":   "(r3) alu r5 r1 -",
+		"branch attribute": "br r1 sideways",
+		"guard alone":      "(p3)",
+	}
+	for name, prog := range bad {
+		if _, err := ParseProgram(prog); err == nil {
+			t.Errorf("%s: program %q accepted", name, prog)
+		}
+	}
+}
+
+func TestReplayLoopsAndStamps(t *testing.T) {
+	r := MustParseReplay("alu r5 r1 -\nnop", 1)
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		in := r.Next()
+		if i > 0 && in.Seq != prev+1 {
+			t.Fatalf("seq gap at %d", i)
+		}
+		prev = in.Seq
+		wantNop := i%2 == 1
+		if (in.Class == isa.ClassNop) != wantNop {
+			t.Fatalf("loop order broken at %d: %v", i, in)
+		}
+	}
+	w := r.NextWrong()
+	if !w.WrongPath || w.Seq != prev+1 {
+		t.Fatalf("wrong-path stamping broken: %v", w)
+	}
+}
+
+func TestNewReplayRejectsEmpty(t *testing.T) {
+	if _, err := NewReplay(nil, 1); err == nil {
+		t.Fatal("empty body accepted")
+	}
+}
+
+func TestMustParseReplayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad program did not panic")
+		}
+	}()
+	MustParseReplay("bogus", 1)
+}
+
+func TestParseProgramCommentsAndCase(t *testing.T) {
+	body, err := ParseProgram("nop # trailing comment\n\n  \nhint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 2 || body[0].Class != isa.ClassNop || body[1].Class != isa.ClassHint {
+		t.Fatalf("comment handling broken: %v", body)
+	}
+	if !strings.Contains(sampleKernel, "#") {
+		t.Fatal("sample kernel should exercise comments")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	body, err := ParseProgram(sampleKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatProgram(body)
+	back, err := ParseProgram(text)
+	if err != nil {
+		t.Fatalf("formatted program does not parse: %v\n%s", err, text)
+	}
+	if len(back) != len(body) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(body))
+	}
+	for i := range body {
+		a, b := body[i], back[i]
+		a.Seq, a.PC, b.Seq, b.PC = 0, 0, 0, 0
+		if a != b {
+			t.Fatalf("instruction %d differs after round trip:\n a=%v\n b=%v", i, a, b)
+		}
+	}
+}
+
+func TestFormatGeneratorSample(t *testing.T) {
+	// Property-style: a sample of generator output (correct path, depth
+	// and bubbles cleared) must round-trip through the text form.
+	g := MustNew(Default())
+	var body []isa.Inst
+	for len(body) < 300 {
+		in := g.Next()
+		in.Seq, in.PC, in.CallDepth, in.FetchBubble = 0, 0, 0, 0
+		// The text form does not carry call-depth context for bodies that
+		// start mid-procedure; skip rets that would underflow.
+		if in.Class == isa.ClassReturn || in.Class == isa.ClassCall {
+			continue
+		}
+		body = append(body, in)
+	}
+	text := FormatProgram(body)
+	back, err := ParseProgram(text)
+	if err != nil {
+		t.Fatalf("generator sample does not round-trip: %v", err)
+	}
+	for i := range body {
+		a, b := body[i], back[i]
+		a.Seq, a.PC, b.Seq, b.PC = 0, 0, 0, 0
+		if a != b {
+			t.Fatalf("instruction %d differs:\n a=%v\n b=%v\n line=%q",
+				i, a, b, strings.Split(text, "\n")[i])
+		}
+	}
+}
