@@ -12,8 +12,10 @@ package softerror
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"softerror/internal/core"
 	"softerror/internal/fault"
@@ -37,6 +39,32 @@ func printTable(name string, t *report.Table) {
 }
 
 func newBenchSuite() *core.Suite { return core.NewSuite(spec.All(), benchCommits) }
+
+// BenchmarkSuitePrewarm measures the parallel evaluation engine directly:
+// one full Table-1 fan-out (26 benchmarks x 3 policies) serially and on the
+// GOMAXPROCS worker pool, reporting the wall-clock ratio as a `speedup`
+// custom metric so BENCH_*.json tracks the win across PRs. Both passes
+// produce identical memo contents — determinism is pinned separately by
+// TestParallelDeterminism*.
+func BenchmarkSuitePrewarm(b *testing.B) {
+	pols := []core.Policy{core.PolicyBaseline, core.PolicySquashL1, core.PolicySquashL0}
+	prewarm := func(workers int) time.Duration {
+		s := core.NewSuite(spec.All(), 20_000)
+		s.Workers = workers
+		start := time.Now()
+		if err := s.Prewarm(pols...); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		serial += prewarm(1)
+		parallel += prewarm(0) // GOMAXPROCS workers
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
 
 // BenchmarkTable1Squashing regenerates Table 1: IPC, SDC AVF, DUE AVF and
 // the IPC/AVF merit columns for the baseline and both squash triggers.

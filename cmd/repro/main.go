@@ -27,6 +27,7 @@ import (
 
 	"softerror/internal/core"
 	"softerror/internal/fault"
+	"softerror/internal/par"
 	"softerror/internal/report"
 	"softerror/internal/spec"
 )
@@ -48,6 +49,7 @@ func run(args []string) error {
 	strikes := fs.Int("strikes", 50_000, "fault-injection strikes for outcomes")
 	seed := fs.Uint64("seed", 1, "fault-injection seed")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jobs := fs.Int("j", 0, "simulation worker count (default GOMAXPROCS); output is identical at any -j")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: repro [flags] <table1|table2|outcomes|fig2|fig3|fig4|breakdown|ablation|protection|regfile|simpoints|all>\n\n")
 		fs.PrintDefaults()
@@ -59,6 +61,8 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("exactly one experiment required")
 	}
+
+	par.SetDefault(*jobs)
 
 	benches := spec.All()
 	if *benchList != "" {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"softerror/internal/config"
 	"softerror/internal/core"
 	"softerror/internal/isa"
+	"softerror/internal/par"
 	"softerror/internal/pipeline"
 	"softerror/internal/report"
 	"softerror/internal/serate"
@@ -43,9 +45,11 @@ func run(args []string) error {
 	freq := fs.Float64("freq", 2.5e9, "clock frequency in Hz (the paper's part: 2.5 GHz)")
 	pet := fs.Int("pet", 512, "PET buffer entries")
 	saveTrace := fs.String("savetrace", "", "write the full trace to this file (analyse with traceview)")
+	jobs := fs.Int("j", 0, "analysis worker count (default GOMAXPROCS); output is identical at any -j")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	par.SetDefault(*jobs)
 
 	params := workload.Default()
 	pcfg := pipeline.DefaultConfig()
@@ -77,6 +81,19 @@ func run(args []string) error {
 		return err
 	}
 	rep := res.Report
+
+	// The front-end and store-buffer structures are analysed independently
+	// of the IQ report; fan them out on the worker pool.
+	var fe *ace.Report
+	var sb *ace.SBReport
+	analyses := []func(){
+		func() { fe = ace.AnalyzeFrontEnd(res.Trace, rep.Dead) },
+		func() { sb = ace.AnalyzeStoreBuffer(res.Trace, rep.Dead) },
+	}
+	if err := par.ForEach(context.Background(), len(analyses), 0,
+		func(_ context.Context, i int) error { analyses[i](); return nil }); err != nil {
+		return err
+	}
 
 	fmt.Printf("workload %s under %q: %d commits in %d cycles (IPC %.3f)\n",
 		res.Name, pol, res.Commits, res.Cycles, res.IPC)
@@ -153,7 +170,6 @@ func run(args []string) error {
 	reg.Fprint(os.Stdout)
 	fmt.Println()
 
-	fe := ace.AnalyzeFrontEnd(res.Trace, rep.Dead)
 	feT := report.New(fmt.Sprintf("front-end fetch buffer (%d instructions)", res.Trace.FrontEndCap),
 		"class", "fraction")
 	feT.AddRow("ACE (SDC AVF)", report.Pct(fe.SDCAVF()))
@@ -163,7 +179,6 @@ func run(args []string) error {
 	feT.Fprint(os.Stdout)
 	fmt.Println()
 
-	sb := ace.AnalyzeStoreBuffer(res.Trace, rep.Dead)
 	sbT := report.New(fmt.Sprintf("store buffer (%d entries, data+address payload)", res.Trace.StoreBufferCap),
 		"class", "fraction")
 	sbT.AddRow("ACE (SDC AVF)", report.Pct(sb.SDCAVF()))

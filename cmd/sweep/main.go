@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"softerror/internal/core"
+	"softerror/internal/par"
 	"softerror/internal/spec"
 	"softerror/internal/sweep"
 )
@@ -33,11 +34,13 @@ func run(args []string) error {
 	commits := fs.Uint64("commits", core.DefaultCommits, "committed instructions per cell")
 	out := fs.String("out", "", "output CSV path (default: stdout)")
 	quiet := fs.Bool("q", false, "suppress progress on stderr")
+	jobs := fs.Int("j", 0, "simulation worker count (default GOMAXPROCS); output is identical at any -j")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	par.SetDefault(*jobs)
 
-	g := &sweep.Grid{Commits: *commits}
+	g := &sweep.Grid{Commits: *commits, Workers: *jobs}
 	g.Benches = spec.All()
 	if *benchList != "" {
 		g.Benches = g.Benches[:0]

@@ -145,6 +145,27 @@ func NewCache(cfg Config) (*Cache, error) {
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Clone returns a deep copy of the cache: lines, replacement state and
+// counters. Clones evolve independently; a clone of a warmed cache behaves
+// bit-identically to a cache warmed by replaying the same accesses.
+func (c *Cache) Clone() *Cache {
+	nsets := len(c.sets)
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*c.cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*c.cfg.Assoc : (i+1)*c.cfg.Assoc]
+		copy(sets[i], c.sets[i])
+	}
+	return &Cache{
+		cfg:        c.cfg,
+		sets:       sets,
+		setMask:    c.setMask,
+		offsetBits: c.offsetBits,
+		clock:      c.clock,
+		stats:      c.stats,
+	}
+}
+
 // Stats returns a snapshot of the access counters.
 func (c *Cache) Stats() Stats { return c.stats }
 

@@ -1,0 +1,62 @@
+package cache
+
+import "testing"
+
+// TestHierarchyCloneIndependence checks a clone carries the parent's exact
+// state and then evolves independently.
+func TestHierarchyCloneIndependence(t *testing.T) {
+	h := MustNewDefault()
+	for a := uint64(0); a < 1<<16; a += 64 {
+		h.Access(a, a%128 == 0)
+	}
+	c := h.Clone()
+
+	// Identical state: the same probe sequence must hit the same levels.
+	for a := uint64(0); a < 1<<16; a += 4096 {
+		if got, want := c.Access(a, false), h.Access(a, false); got != want {
+			t.Fatalf("addr %#x: clone serviced at %+v, parent at %+v", a, got, want)
+		}
+	}
+	if c.Level(0).Stats() != h.Level(0).Stats() {
+		t.Fatalf("L0 stats diverged under identical accesses: clone %+v parent %+v",
+			c.Level(0).Stats(), h.Level(0).Stats())
+	}
+
+	// Independence: accesses to the clone must not leak into the parent.
+	before := h.Level(0).Stats()
+	for a := uint64(1 << 30); a < 1<<30+1<<14; a += 64 {
+		c.Access(a, true)
+	}
+	if h.Level(0).Stats() != before {
+		t.Fatal("accessing the clone mutated the parent's L0")
+	}
+}
+
+// TestCloneMatchesReplayedWarm checks the property core.Run relies on: a
+// clone of a warmed hierarchy is indistinguishable from a fresh hierarchy
+// warmed with the same access sequence.
+func TestCloneMatchesReplayedWarm(t *testing.T) {
+	warm := func(h *Hierarchy) {
+		for a := uint64(0); a < 1<<18; a += 64 {
+			h.Access(a, false)
+		}
+	}
+	a := MustNewDefault()
+	warm(a)
+	b := MustNewDefault()
+	warm(b)
+	c := a.Clone()
+
+	for addr := uint64(0); addr < 1<<18; addr += 512 {
+		rb, rc := b.Access(addr, false), c.Access(addr, false)
+		if rb != rc {
+			t.Fatalf("addr %#x: replayed-warm %+v, clone %+v", addr, rb, rc)
+		}
+	}
+	for lvl := 0; lvl < b.NumLevels(); lvl++ {
+		if b.Level(lvl).Stats() != c.Level(lvl).Stats() {
+			t.Fatalf("level %d stats: replayed-warm %+v, clone %+v",
+				lvl, b.Level(lvl).Stats(), c.Level(lvl).Stats())
+		}
+	}
+}

@@ -114,6 +114,25 @@ func MustNewDefault() *Hierarchy {
 	return h
 }
 
+// Clone returns a deep copy of the hierarchy: every level's lines,
+// replacement state and counters. The OnEvict hook is not carried over —
+// observers subscribe per instance. Cloning a warmed hierarchy is
+// bit-identical to warming a fresh one with the same access sequence, which
+// is what lets concurrent simulations share one warm-up.
+func (h *Hierarchy) Clone() *Hierarchy {
+	c := &Hierarchy{
+		memLatency:       h.memLatency,
+		NextLinePrefetch: h.NextLinePrefetch,
+		memAccesses:      h.memAccesses,
+		hwPrefetches:     h.hwPrefetches,
+	}
+	c.levels = make([]*Cache, len(h.levels))
+	for i, lv := range h.levels {
+		c.levels[i] = lv.Clone()
+	}
+	return c
+}
+
 // NumLevels returns the number of cache levels (excluding memory).
 func (h *Hierarchy) NumLevels() int { return len(h.levels) }
 

@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"softerror/internal/ace"
 	"softerror/internal/cache"
 	"softerror/internal/fault"
+	"softerror/internal/par"
 	"softerror/internal/pipeline"
 	"softerror/internal/serate"
 	"softerror/internal/spec"
@@ -15,12 +19,41 @@ import (
 // Suite evaluates a benchmark roster under multiple policies, memoising
 // each (benchmark, policy) simulation so that the experiment drivers —
 // which reuse baseline and squash runs heavily — pay for each run once.
+//
+// A Suite is safe for concurrent use: the memo is mutex-guarded and
+// single-flighted, so any number of drivers racing on the same cell execute
+// exactly one simulation. Prewarm fans all cells of an artefact out over the
+// worker pool; the aggregation loops in the drivers then read memoised
+// results in roster order, which keeps every artefact byte-identical at any
+// worker count.
 type Suite struct {
 	Benches []spec.Benchmark
 	// Commits is the per-run commit budget.
 	Commits uint64
+	// Workers bounds Prewarm's parallelism; <= 0 means the par package
+	// default (GOMAXPROCS, or the -j flag of the calling command).
+	Workers int
 
-	results map[string]*Result
+	mu      sync.Mutex
+	results map[suiteKey]*suiteCell
+	sims    atomic.Uint64
+}
+
+// suiteKey identifies one memo cell. A comparable struct key keeps the hot
+// lookup allocation-free (no fmt formatting) and cannot collide the way a
+// formatted string could.
+type suiteKey struct {
+	name string
+	pol  Policy
+}
+
+// suiteCell single-flights one simulation: the first caller to claim the
+// cell runs it and closes done; every other caller blocks on done and reads
+// the shared outcome.
+type suiteCell struct {
+	done chan struct{}
+	res  *Result
+	err  error
 }
 
 // NewSuite builds a Suite over the given roster (nil means spec.All()).
@@ -34,16 +67,34 @@ func NewSuite(benches []spec.Benchmark, commits uint64) *Suite {
 	return &Suite{
 		Benches: benches,
 		Commits: commits,
-		results: make(map[string]*Result),
+		results: make(map[suiteKey]*suiteCell),
 	}
 }
 
-// Result returns the memoised simulation of one benchmark under a policy.
+// Result returns the memoised simulation of one benchmark under a policy,
+// simulating it on first request. Concurrent calls for the same cell block
+// until the one executing simulation finishes.
 func (s *Suite) Result(b spec.Benchmark, pol Policy) (*Result, error) {
-	key := fmt.Sprintf("%s/%d", b.Name, pol)
-	if r, ok := s.results[key]; ok {
-		return r, nil
+	key := suiteKey{name: b.Name, pol: pol}
+	s.mu.Lock()
+	cell, ok := s.results[key]
+	if ok {
+		s.mu.Unlock()
+		<-cell.done
+		return cell.res, cell.err
 	}
+	cell = &suiteCell{done: make(chan struct{})}
+	s.results[key] = cell
+	s.mu.Unlock()
+
+	cell.res, cell.err = s.simulate(b, pol)
+	close(cell.done)
+	return cell.res, cell.err
+}
+
+// simulate runs one cell uncached.
+func (s *Suite) simulate(b spec.Benchmark, pol Policy) (*Result, error) {
+	s.sims.Add(1)
 	pcfg := pipeline.DefaultConfig()
 	pol.Apply(&pcfg)
 	r, err := Run(Config{Workload: b.Params, Pipeline: pcfg, Commits: s.Commits})
@@ -53,8 +104,40 @@ func (s *Suite) Result(b spec.Benchmark, pol Policy) (*Result, error) {
 	// Release the per-instruction classification map: the drivers only
 	// need the aggregate report and distance populations.
 	r.Report.Dead.Compact()
-	s.results[key] = r
 	return r, nil
+}
+
+// Simulations reports how many simulations the suite has actually executed
+// (memo misses). With single-flighting this never exceeds the number of
+// distinct (benchmark, policy) cells requested.
+func (s *Suite) Simulations() uint64 { return s.sims.Load() }
+
+// AllPolicies returns every exposure policy, in declaration order.
+func AllPolicies() []Policy {
+	pols := make([]Policy, NumPolicies)
+	for i := range pols {
+		pols[i] = Policy(i)
+	}
+	return pols
+}
+
+// Prewarm simulates every (benchmark, policy) cell of the cross product in
+// parallel on the suite's worker pool, so that subsequent driver loops run
+// entirely from the memo. Passing no policies prewarms all of them. Cells
+// already simulated cost nothing; concurrent Prewarms dedupe through the
+// single-flight memo. The first simulation error cancels outstanding work.
+func (s *Suite) Prewarm(policies ...Policy) error {
+	if len(policies) == 0 {
+		policies = AllPolicies()
+	}
+	cells := len(s.Benches) * len(policies)
+	return par.ForEach(context.Background(), cells, s.Workers,
+		func(_ context.Context, i int) error {
+			b := s.Benches[i/len(policies)]
+			pol := policies[i%len(policies)]
+			_, err := s.Result(b, pol)
+			return err
+		})
 }
 
 // ---------------------------------------------------------------------------
@@ -75,8 +158,12 @@ type Table1Row struct {
 // Table1 reproduces Table 1: means across the roster for the baseline and
 // both squash triggers.
 func (s *Suite) Table1() ([]Table1Row, error) {
+	pols := []Policy{PolicyBaseline, PolicySquashL1, PolicySquashL0}
+	if err := s.Prewarm(pols...); err != nil {
+		return nil, err
+	}
 	rows := make([]Table1Row, 0, 3)
-	for _, pol := range []Policy{PolicyBaseline, PolicySquashL1, PolicySquashL0} {
+	for _, pol := range pols {
 		var ipc, sdc, due float64
 		for _, b := range s.Benches {
 			r, err := s.Result(b, pol)
@@ -145,6 +232,9 @@ func (s *Suite) Figure2Under(pol Policy, petEntries int) ([]Figure2Row, error) {
 	if petEntries <= 0 {
 		petEntries = 512
 	}
+	if err := s.Prewarm(pol); err != nil {
+		return nil, err
+	}
 	rows := make([]Figure2Row, 0, len(s.Benches))
 	for _, b := range s.Benches {
 		r, err := s.Result(b, pol)
@@ -210,6 +300,9 @@ func (s *Suite) Figure3(sizes []int) ([]Figure3Row, error) {
 	if sizes == nil {
 		sizes = DefaultPETSizes
 	}
+	if err := s.Prewarm(PolicyBaseline); err != nil {
+		return nil, err
+	}
 	var reg, ret, mem []int
 	for _, b := range s.Benches {
 		r, err := s.Result(b, PolicyBaseline)
@@ -256,6 +349,9 @@ type Figure4Row struct {
 // queue's SDC AVF, and squashing plus π-bit tracking to the store-buffer
 // commit point (option 3 of §4.3.3) for the parity queue's DUE AVF.
 func (s *Suite) Figure4() ([]Figure4Row, error) {
+	if err := s.Prewarm(PolicyBaseline, PolicySquashL1); err != nil {
+		return nil, err
+	}
 	rows := make([]Figure4Row, 0, len(s.Benches))
 	for _, b := range s.Benches {
 		base, err := s.Result(b, PolicyBaseline)
@@ -300,6 +396,9 @@ type BreakdownRow struct {
 
 // Breakdown reports the baseline occupancy decomposition per benchmark.
 func (s *Suite) Breakdown() ([]BreakdownRow, error) {
+	if err := s.Prewarm(PolicyBaseline); err != nil {
+		return nil, err
+	}
 	rows := make([]BreakdownRow, 0, len(s.Benches))
 	for _, b := range s.Benches {
 		r, err := s.Result(b, PolicyBaseline)
@@ -339,28 +438,29 @@ func Outcomes(b spec.Benchmark, commits uint64, strikes int, seed uint64) ([]Out
 		return nil, err
 	}
 	inj := fault.NewInjector(res.Trace, res.Report.Dead)
-	var rows []OutcomeRow
-	run := func(label string, cfg fault.Config) error {
-		cfg.Strikes = strikes
-		cfg.Seed = seed
-		r, err := inj.Run(cfg)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, OutcomeRow{Label: label, Strikes: r.Strikes, Counts: r.Counts})
-		return nil
-	}
-	if err := run("unprotected", fault.Config{Protection: cache.ProtNone}); err != nil {
-		return nil, err
-	}
-	if err := run("parity", fault.Config{Protection: cache.ProtParity, Level: ace.TrackNever}); err != nil {
-		return nil, err
+	labels := []string{"unprotected", "parity"}
+	cfgs := []fault.Config{
+		{Protection: cache.ProtNone},
+		{Protection: cache.ProtParity, Level: ace.TrackNever},
 	}
 	for _, lvl := range TrackingLevels {
-		label := fmt.Sprintf("parity+%v", lvl)
-		if err := run(label, fault.Config{Protection: cache.ProtParity, Level: lvl}); err != nil {
-			return nil, err
-		}
+		labels = append(labels, fmt.Sprintf("parity+%v", lvl))
+		cfgs = append(cfgs, fault.Config{Protection: cache.ProtParity, Level: lvl})
+	}
+	// Each configuration is an independent campaign with its own RNG stream
+	// seeded identically to the serial path, so the fan-out is bit-identical
+	// at any worker count.
+	for i := range cfgs {
+		cfgs[i].Strikes = strikes
+		cfgs[i].Seed = seed
+	}
+	campaigns, err := inj.RunMany(cfgs, 0)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OutcomeRow, len(campaigns))
+	for i, r := range campaigns {
+		rows[i] = OutcomeRow{Label: labels[i], Strikes: r.Strikes, Counts: r.Counts}
 	}
 	return rows, nil
 }
@@ -383,6 +483,9 @@ func (s *Suite) ThrottleAblation() ([]AblationRow, error) {
 	policies := []Policy{
 		PolicyBaseline, PolicySquashL1, PolicyThrottleL1,
 		PolicySquashL0, PolicyThrottleL0,
+	}
+	if err := s.Prewarm(policies...); err != nil {
+		return nil, err
 	}
 	rows := make([]AblationRow, 0, len(policies))
 	for _, pol := range policies {
@@ -420,25 +523,26 @@ type RegFileRow struct {
 
 // RegFile measures the architectural register files' AVF decomposition
 // across the roster's baseline runs. Runs are not memoised with the suite
-// (the register analysis needs commit cycles and uncompacted deadness).
+// (the register analysis needs commit cycles and uncompacted deadness);
+// they fan out over the worker pool, one per benchmark.
 func (s *Suite) RegFile() ([]RegFileRow, error) {
-	rows := make([]RegFileRow, 0, len(s.Benches))
-	for _, b := range s.Benches {
-		r, err := Run(Config{Workload: b.Params, Commits: s.Commits, RegFile: true})
-		if err != nil {
-			return nil, fmt.Errorf("core: regfile %s: %w", b.Name, err)
-		}
-		rf := r.RegFile
-		rows = append(rows, RegFileRow{
-			Bench:       b.Name,
-			FP:          b.FP,
-			SDCAVF:      rf.SDCAVF(),
-			FalseDUEAVF: rf.FalseDUEAVF(),
-			ExACE:       rf.ExACEFraction(),
-			Untouched:   rf.UntouchedFraction(),
+	return par.Map(context.Background(), len(s.Benches), s.Workers,
+		func(_ context.Context, i int) (RegFileRow, error) {
+			b := s.Benches[i]
+			r, err := Run(Config{Workload: b.Params, Commits: s.Commits, RegFile: true})
+			if err != nil {
+				return RegFileRow{}, fmt.Errorf("core: regfile %s: %w", b.Name, err)
+			}
+			rf := r.RegFile
+			return RegFileRow{
+				Bench:       b.Name,
+				FP:          b.FP,
+				SDCAVF:      rf.SDCAVF(),
+				FalseDUEAVF: rf.FalseDUEAVF(),
+				ExACE:       rf.ExACEFraction(),
+				Untouched:   rf.UntouchedFraction(),
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // GeoMean returns the geometric mean of strictly positive values; zero or

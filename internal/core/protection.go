@@ -27,6 +27,9 @@ func ProtectionComparison(benches []spec.Benchmark, commits uint64, rawFITPerBit
 		benches = spec.All()
 	}
 	s := NewSuite(benches, commits)
+	if err := s.Prewarm(PolicyBaseline, PolicySquashL1); err != nil {
+		return nil, err
+	}
 
 	// Mean AVFs across the roster, baseline and squash-L1.
 	var baseSDC, baseFalse [2]float64 // [0]=baseline, [1]=squash-L1

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"softerror/internal/par"
 	"softerror/internal/pipeline"
 	"softerror/internal/spec"
 )
@@ -34,19 +36,30 @@ func RunSimPoints(b spec.Benchmark, pol Policy, n int, commits uint64) (SimPoint
 	pol.Apply(&pcfg)
 
 	sum := SimPointSummary{Bench: b.Name, Policy: pol, N: n}
+	// Slices are independent runs with derived seeds; fan them out and
+	// aggregate in slice order so the summary stays bit-identical at any
+	// worker count.
+	type slice struct{ ipc, sdc, due float64 }
+	slices, err := par.Map(context.Background(), n, 0,
+		func(_ context.Context, k int) (slice, error) {
+			params := b.Params
+			// Golden-ratio seed stepping keeps slices decorrelated while the
+			// first SimPoint reproduces the headline numbers exactly.
+			params.Seed = b.Params.Seed + uint64(k)*0x9e3779b97f4a7c15
+			r, err := Run(Config{Workload: params, Pipeline: pcfg, Commits: commits})
+			if err != nil {
+				return slice{}, fmt.Errorf("core: %s simpoint %d: %w", b.Name, k, err)
+			}
+			return slice{ipc: r.IPC, sdc: r.Report.SDCAVF(), due: r.Report.DUEAVF()}, nil
+		})
+	if err != nil {
+		return SimPointSummary{}, err
+	}
 	var ipc, sdc, due []float64
-	for k := 0; k < n; k++ {
-		params := b.Params
-		// Golden-ratio seed stepping keeps slices decorrelated while the
-		// first SimPoint reproduces the headline numbers exactly.
-		params.Seed = b.Params.Seed + uint64(k)*0x9e3779b97f4a7c15
-		r, err := Run(Config{Workload: params, Pipeline: pcfg, Commits: commits})
-		if err != nil {
-			return SimPointSummary{}, fmt.Errorf("core: %s simpoint %d: %w", b.Name, k, err)
-		}
-		ipc = append(ipc, r.IPC)
-		sdc = append(sdc, r.Report.SDCAVF())
-		due = append(due, r.Report.DUEAVF())
+	for _, sl := range slices {
+		ipc = append(ipc, sl.ipc)
+		sdc = append(sdc, sl.sdc)
+		due = append(due, sl.due)
 	}
 	sum.MeanIPC, sum.StdIPC = meanStd(ipc)
 	sum.MeanSDCAVF, sum.StdSDCAVF = meanStd(sdc)

@@ -12,12 +12,14 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"softerror/internal/ace"
 	"softerror/internal/cache"
 	"softerror/internal/isa"
+	"softerror/internal/par"
 	"softerror/internal/pibit"
 	"softerror/internal/pipeline"
 	"softerror/internal/rng"
@@ -183,6 +185,18 @@ func (inj *Injector) Run(cfg Config) (*Result, error) {
 		res.Strikes++
 	}
 	return res, nil
+}
+
+// RunMany executes one campaign per configuration, fanning them out over
+// the worker pool (workers <= 0 means the par package default). The injector
+// is read-only during campaigns and every campaign owns its RNG stream and
+// tracking engine, seeded exactly as a serial Run would be — so the result
+// slice is bit-identical to running the configurations one after another.
+func (inj *Injector) RunMany(cfgs []Config, workers int) ([]*Result, error) {
+	return par.Map(context.Background(), len(cfgs), workers,
+		func(_ context.Context, i int) (*Result, error) {
+			return inj.Run(cfgs[i])
+		})
 }
 
 // strike injects one uniformly sampled fault and classifies it.

@@ -6,12 +6,15 @@
 package sweep
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 
 	"softerror/internal/core"
+	"softerror/internal/par"
 	"softerror/internal/pipeline"
 	"softerror/internal/serate"
 	"softerror/internal/spec"
@@ -26,6 +29,9 @@ type Grid struct {
 	OutOfOrder []bool
 	// Commits per cell (default core.DefaultCommits).
 	Commits uint64
+	// Workers bounds Run's parallelism; <= 0 means the par package default
+	// (GOMAXPROCS, or the -j flag of the calling command).
+	Workers int
 }
 
 // Row is one cell's measurements.
@@ -62,8 +68,27 @@ func (g *Grid) validate() error {
 	return nil
 }
 
-// Run executes the grid in axis order (benchmark-major) and returns one
-// row per cell. progress, if non-nil, is called after each cell.
+// cell maps a flat index to its axis values, benchmark-major — the same
+// enumeration order the serial nested loops used, so rows[i] lands exactly
+// where a serial run would have appended it.
+func (g *Grid) cell(i int) (b spec.Benchmark, pol core.Policy, iq int, ooo bool) {
+	no := len(g.OutOfOrder)
+	ni := len(g.IQSizes)
+	np := len(g.Policies)
+	ooo = g.OutOfOrder[i%no]
+	i /= no
+	iq = g.IQSizes[i%ni]
+	i /= ni
+	pol = g.Policies[i%np]
+	i /= np
+	b = g.Benches[i]
+	return b, pol, iq, ooo
+}
+
+// Run executes the grid on the worker pool and returns one row per cell, in
+// axis order (benchmark-major) regardless of scheduling: each worker writes
+// only its own index of a pre-sized slice. progress, if non-nil, is called
+// after each completed cell with a strictly increasing done count.
 func (g *Grid) Run(progress func(done, total int)) ([]Row, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
@@ -73,43 +98,53 @@ func (g *Grid) Run(progress func(done, total int)) ([]Row, error) {
 		commits = core.DefaultCommits
 	}
 	total := g.Size()
-	rows := make([]Row, 0, total)
-	for _, b := range g.Benches {
-		for _, pol := range g.Policies {
-			for _, iq := range g.IQSizes {
-				for _, ooo := range g.OutOfOrder {
-					cfg := pipeline.DefaultConfig()
-					pol.Apply(&cfg)
-					cfg.IQSize = iq
-					cfg.OutOfOrder = ooo
-					res, err := core.Run(core.Config{
-						Workload: b.Params,
-						Pipeline: cfg,
-						Commits:  commits,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("sweep: %s/%v/iq%d/ooo=%v: %w",
-							b.Name, pol, iq, ooo, err)
-					}
-					rows = append(rows, Row{
-						Bench:       b.Name,
-						FP:          b.FP,
-						Policy:      pol,
-						IQSize:      iq,
-						OutOfOrder:  ooo,
-						IPC:         res.IPC,
-						SDCAVF:      res.Report.SDCAVF(),
-						DUEAVF:      res.Report.DUEAVF(),
-						FalseDUEAVF: res.Report.FalseDUEAVF(),
-						MeritSDC:    serate.Merit(res.IPC, res.Report.SDCAVF()),
-						Squashes:    res.Squashes,
-					})
-					if progress != nil {
-						progress(len(rows), total)
-					}
-				}
+	rows := make([]Row, total)
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	err := par.ForEach(context.Background(), total, g.Workers,
+		func(_ context.Context, i int) error {
+			b, pol, iq, ooo := g.cell(i)
+			cfg := pipeline.DefaultConfig()
+			pol.Apply(&cfg)
+			cfg.IQSize = iq
+			cfg.OutOfOrder = ooo
+			res, err := core.Run(core.Config{
+				Workload: b.Params,
+				Pipeline: cfg,
+				Commits:  commits,
+			})
+			if err != nil {
+				return fmt.Errorf("sweep: %s/%v/iq%d/ooo=%v: %w",
+					b.Name, pol, iq, ooo, err)
 			}
-		}
+			rows[i] = Row{
+				Bench:       b.Name,
+				FP:          b.FP,
+				Policy:      pol,
+				IQSize:      iq,
+				OutOfOrder:  ooo,
+				IPC:         res.IPC,
+				SDCAVF:      res.Report.SDCAVF(),
+				DUEAVF:      res.Report.DUEAVF(),
+				FalseDUEAVF: res.Report.FalseDUEAVF(),
+				MeritSDC:    serate.Merit(res.IPC, res.Report.SDCAVF()),
+				Squashes:    res.Squashes,
+			}
+			if progress != nil {
+				// Completion order is scheduling-dependent, but the done
+				// count is advanced under the lock, so callers observe a
+				// monotonic 1..total sequence.
+				mu.Lock()
+				done++
+				progress(done, total)
+				mu.Unlock()
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"testing"
+
+	"softerror/internal/cache"
+)
+
+// TestWarmedDefaultMatchesManualWarm checks the memoised snapshot is
+// bit-identical to warming a fresh default hierarchy in place — the
+// property that makes the warm template a pure optimisation.
+func TestWarmedDefaultMatchesManualWarm(t *testing.T) {
+	manual := cache.MustNewDefault()
+	WarmCaches(manual)
+	snap := WarmedDefault()
+
+	for lvl := 0; lvl < manual.NumLevels(); lvl++ {
+		if manual.Level(lvl).Stats() != snap.Level(lvl).Stats() {
+			t.Fatalf("level %d stats: manual %+v, snapshot %+v",
+				lvl, manual.Level(lvl).Stats(), snap.Level(lvl).Stats())
+		}
+	}
+	if manual.MemAccesses() != snap.MemAccesses() {
+		t.Fatalf("memory accesses: manual %d, snapshot %d",
+			manual.MemAccesses(), snap.MemAccesses())
+	}
+	// The same post-warm probe sequence must be serviced identically.
+	for a := uint64(0); a < 1<<20; a += 2048 {
+		rm, rs := manual.Access(a, false), snap.Access(a, false)
+		if rm != rs {
+			t.Fatalf("addr %#x: manual %+v, snapshot %+v", a, rm, rs)
+		}
+	}
+}
+
+// TestWarmedDefaultIsolation checks successive calls return independent
+// copies: mutating one snapshot must not perturb the next.
+func TestWarmedDefaultIsolation(t *testing.T) {
+	a := WarmedDefault()
+	for addr := uint64(1 << 40); addr < 1<<40+1<<16; addr += 64 {
+		a.Access(addr, true)
+	}
+	b := WarmedDefault()
+	if a.MemAccesses() == b.MemAccesses() {
+		t.Fatal("second snapshot shares state with the mutated first")
+	}
+	manual := cache.MustNewDefault()
+	WarmCaches(manual)
+	if b.MemAccesses() != manual.MemAccesses() {
+		t.Fatalf("snapshot drifted after sibling mutation: %d vs %d",
+			b.MemAccesses(), manual.MemAccesses())
+	}
+}

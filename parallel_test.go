@@ -1,0 +1,167 @@
+package softerror
+
+import (
+	"strings"
+	"testing"
+
+	"softerror/internal/core"
+	"softerror/internal/report"
+	"softerror/internal/spec"
+	"softerror/internal/sweep"
+)
+
+// detCommits keeps the determinism matrix fast while still exercising the
+// full pipeline/ACE stack per cell.
+const detCommits = 20_000
+
+// detRoster is a mixed INT/FP subset, large enough that an 8-worker pool
+// genuinely interleaves cells.
+func detRoster(t *testing.T) []spec.Benchmark {
+	t.Helper()
+	var benches []spec.Benchmark
+	for _, name := range []string{"mcf", "twolf", "gzip-graphic", "ammp", "equake", "swim"} {
+		b, ok := spec.ByName(name)
+		if !ok {
+			t.Fatalf("benchmark %q missing from roster", name)
+		}
+		benches = append(benches, b)
+	}
+	return benches
+}
+
+// table1CSV renders Table 1 rows exactly as cmd/repro -csv would.
+func table1CSV(t *testing.T, workers int, benches []spec.Benchmark) string {
+	t.Helper()
+	s := core.NewSuite(benches, detCommits)
+	s.Workers = workers
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := report.New("table1", "design point", "ipc", "sdc", "due", "merit_sdc", "merit_due")
+	for _, r := range rows {
+		tbl.AddRow(r.Policy.String(), report.F2(r.IPC), report.Pct(r.SDCAVF),
+			report.Pct(r.DUEAVF), report.F2(r.MeritSDC), report.F2(r.MeritDUE))
+	}
+	var sb strings.Builder
+	if err := tbl.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// figure2CSV renders Figure 2 rows (per-benchmark false-DUE coverage).
+func figure2CSV(t *testing.T, workers int, benches []spec.Benchmark) string {
+	t.Helper()
+	s := core.NewSuite(benches, detCommits)
+	s.Workers = workers
+	rows, err := s.Figure2(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := report.New("figure2", "bench", "base", "l0", "l1", "l2", "l3", "l4", "l5")
+	for _, r := range rows {
+		cells := []string{r.Bench, report.Pct(r.BaseFalseDUE)}
+		for _, rem := range r.Remaining {
+			cells = append(cells, report.Pct(rem))
+		}
+		tbl.AddRow(cells...)
+	}
+	var sb strings.Builder
+	if err := tbl.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestParallelDeterminismTable1 pins the hard constraint of the parallel
+// engine: the Table 1 artefact is byte-identical at one worker and at eight.
+func TestParallelDeterminismTable1(t *testing.T) {
+	benches := detRoster(t)
+	serial := table1CSV(t, 1, benches)
+	parallel := table1CSV(t, 8, benches)
+	if serial != parallel {
+		t.Fatalf("Table 1 CSV differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial, parallel)
+	}
+}
+
+// TestParallelDeterminismFigure2 does the same for the per-benchmark
+// Figure 2 coverage rows.
+func TestParallelDeterminismFigure2(t *testing.T) {
+	benches := detRoster(t)
+	serial := figure2CSV(t, 1, benches)
+	parallel := figure2CSV(t, 8, benches)
+	if serial != parallel {
+		t.Fatalf("Figure 2 CSV differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial, parallel)
+	}
+}
+
+// TestParallelDeterminismSweep runs a small design-space grid at both worker
+// counts and asserts the emitted CSV is byte-identical, and that the
+// parallel run's progress callback stays monotonic.
+func TestParallelDeterminismSweep(t *testing.T) {
+	mcf, _ := spec.ByName("mcf")
+	ammp, _ := spec.ByName("ammp")
+	grid := func(workers int) *sweep.Grid {
+		return &sweep.Grid{
+			Benches:    []spec.Benchmark{mcf, ammp},
+			Policies:   []core.Policy{core.PolicyBaseline, core.PolicySquashL1},
+			IQSizes:    []int{32, 64},
+			OutOfOrder: []bool{false},
+			Commits:    detCommits,
+			Workers:    workers,
+		}
+	}
+	runCSV := func(workers int, progress func(done, total int)) string {
+		rows, err := grid(workers).Run(progress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := sweep.WriteCSV(&sb, rows); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial := runCSV(1, nil)
+	lastDone := 0
+	parallel := runCSV(8, func(done, total int) {
+		if done != lastDone+1 || total != 8 {
+			t.Errorf("progress(%d, %d) after done=%d: not monotonic", done, total, lastDone)
+		}
+		lastDone = done
+	})
+	if lastDone != 8 {
+		t.Errorf("progress reached %d of 8 cells", lastDone)
+	}
+	if serial != parallel {
+		t.Fatalf("sweep CSV differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial, parallel)
+	}
+}
+
+// TestParallelDeterminismOutcomes pins the fault-injection campaigns: the
+// per-configuration fan-out must reproduce the serial strike streams
+// exactly, because every configuration owns an identically seeded RNG.
+func TestParallelDeterminismOutcomes(t *testing.T) {
+	mcf, _ := spec.ByName("mcf")
+	run := func() string {
+		rows, err := core.Outcomes(mcf, detCommits, 2_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, r := range rows {
+			sb.WriteString(r.Label)
+			for _, c := range r.Counts {
+				sb.WriteByte(' ')
+				sb.WriteString(report.F2(float64(c)))
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("Outcomes not reproducible across parallel runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}

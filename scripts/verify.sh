@@ -1,0 +1,11 @@
+#!/bin/sh
+# Repository verify recipe, in tiers:
+#   1. tier-1: build + full test suite (the gate every change must pass)
+#   2. race tier: the packages that run simulations concurrently, under the
+#      race detector (parallel engine, suite memo, sweep grid, fault fan-out)
+set -eux
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/par ./internal/core ./internal/sweep ./internal/fault
