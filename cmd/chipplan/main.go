@@ -16,16 +16,14 @@ import (
 
 	"softerror/internal/ace"
 	"softerror/internal/chip"
+	"softerror/internal/cli"
 	"softerror/internal/core"
 	"softerror/internal/isa"
 	"softerror/internal/spec"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "chipplan:", err)
-		os.Exit(1)
-	}
+	cli.Exit("chipplan", run(os.Args[1:]))
 }
 
 func run(args []string) error {
@@ -36,14 +34,14 @@ func run(args []string) error {
 	rawFIT := fs.Float64("rawfit", 0.05, "raw soft-error rate per bit (FIT) for -measure")
 	sdcTarget := fs.Float64("sdctarget", 5000, "SDC MTTF target in years for -measure")
 	dueTarget := fs.Float64("duetarget", 25, "DUE MTTF target in years for -measure")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 
 	var budget *chip.Budget
 	switch {
 	case *budgetPath != "" && *measure != "":
-		return fmt.Errorf("use either -budget or -measure, not both")
+		return cli.Usagef("use either -budget or -measure, not both")
 	case *budgetPath != "":
 		data, err := os.ReadFile(*budgetPath)
 		if err != nil {
@@ -60,7 +58,7 @@ func run(args []string) error {
 		}
 		budget = b
 	default:
-		return fmt.Errorf("one of -budget or -measure is required")
+		return cli.Usagef("one of -budget or -measure is required")
 	}
 
 	ev, err := budget.Evaluate()
@@ -87,7 +85,7 @@ func run(args []string) error {
 func measureBudget(name string, commits uint64, rawFIT, sdcTarget, dueTarget float64) (*chip.Budget, error) {
 	b, ok := spec.ByName(name)
 	if !ok {
-		return nil, fmt.Errorf("unknown benchmark %q", name)
+		return nil, cli.Usagef("unknown benchmark %q", name)
 	}
 	res, err := core.Run(core.Config{
 		Workload: b.Params, Commits: commits, KeepTrace: true, RegFile: true,

@@ -20,11 +20,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"softerror/internal/checkpoint"
+	"softerror/internal/cli"
 	"softerror/internal/core"
 	"softerror/internal/fault"
 	"softerror/internal/par"
@@ -33,10 +37,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "repro:", err)
-		os.Exit(1)
-	}
+	cli.Exit("repro", run(os.Args[1:]))
 }
 
 func run(args []string) error {
@@ -50,19 +51,26 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "fault-injection seed")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	jobs := fs.Int("j", 0, "simulation worker count (default GOMAXPROCS); output is identical at any -j")
+	ckPath := fs.String("checkpoint", "", "snapshot the outcomes campaign to this file; removed on success")
+	resume := fs.Bool("resume", false, "resume the outcomes campaign from an existing -checkpoint snapshot")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: repro [flags] <table1|table2|outcomes|fig2|fig3|fig4|breakdown|ablation|protection|regfile|simpoints|all>\n\n")
 		fs.PrintDefaults()
 	}
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("exactly one experiment required")
+		return cli.Usagef("exactly one experiment required")
+	}
+	if *resume && *ckPath == "" {
+		return cli.Usagef("-resume requires -checkpoint")
 	}
 
 	par.SetDefault(*jobs)
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	benches := spec.All()
 	if *benchList != "" {
@@ -70,13 +78,14 @@ func run(args []string) error {
 		for _, name := range strings.Split(*benchList, ",") {
 			b, ok := spec.ByName(strings.TrimSpace(name))
 			if !ok {
-				return fmt.Errorf("unknown benchmark %q (known: %s)",
+				return cli.Usagef("unknown benchmark %q (known: %s)",
 					name, strings.Join(spec.Names(), ", "))
 			}
 			benches = append(benches, b)
 		}
 	}
 	suite := core.NewSuite(benches, *commits)
+	suite.Ctx = ctx
 	emit := func(t *report.Table) error {
 		if *csvOut {
 			return t.CSV(os.Stdout)
@@ -89,7 +98,7 @@ func run(args []string) error {
 	experiments := map[string]func() error{
 		"table1":     func() error { return table1(suite, emit) },
 		"table2":     func() error { return table2(benches, emit) },
-		"outcomes":   func() error { return outcomes(benches, *commits, *strikes, *seed, emit) },
+		"outcomes":   func() error { return outcomes(ctx, benches, *commits, *strikes, *seed, *jobs, *ckPath, *resume, emit) },
 		"fig2":       func() error { return fig2(suite, *pet, emit) },
 		"fig3":       func() error { return fig3(suite, emit) },
 		"fig4":       func() error { return fig4(suite, emit) },
@@ -111,7 +120,7 @@ func run(args []string) error {
 	exp, ok := experiments[name]
 	if !ok {
 		fs.Usage()
-		return fmt.Errorf("unknown experiment %q", name)
+		return cli.Usagef("unknown experiment %q", name)
 	}
 	return exp()
 }
@@ -143,13 +152,30 @@ func table2(benches []spec.Benchmark, emit func(*report.Table) error) error {
 	return emit(t)
 }
 
-func outcomes(benches []spec.Benchmark, commits uint64, strikes int, seed uint64, emit func(*report.Table) error) error {
+func outcomes(ctx context.Context, benches []spec.Benchmark, commits uint64, strikes int, seed uint64, jobs int, ckPath string, resume bool, emit func(*report.Table) error) error {
 	if len(benches) == 0 {
-		return fmt.Errorf("no benchmarks")
+		return cli.Usagef("no benchmarks")
 	}
 	b := benches[0]
-	rows, err := core.Outcomes(b, commits, strikes, seed)
+	var ck *checkpoint.File[fault.Result]
+	if ckPath != "" {
+		cells, fp := core.OutcomesPlan(b, commits, strikes, seed)
+		var err error
+		ck, err = checkpoint.Open[fault.Result](ckPath, "outcomes", fp, cells, resume)
+		if err != nil {
+			return err
+		}
+	}
+	rows, err := core.OutcomesCampaign(ctx, b, commits, strikes, seed, jobs, ck)
 	if err != nil {
+		if ck != nil && errors.Is(err, context.Canceled) {
+			return &cli.PartialError{
+				Done: ck.CountDone(), Total: ck.Total(), Path: ck.Path(), Err: err,
+			}
+		}
+		return err
+	}
+	if err := ck.Remove(); err != nil {
 		return err
 	}
 	t := report.New(fmt.Sprintf("Figure 1: fault-outcome taxonomy (%s, %d strikes)", b.Name, strikes),

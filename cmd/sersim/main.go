@@ -7,17 +7,29 @@
 // Example:
 //
 //	sersim -bench mcf -policy squash-l1 -commits 200000 -rawfit 0.001
+//
+// With -strikes N the run finishes with a Monte-Carlo fault-injection
+// campaign on the traced queue (N strikes per protection configuration);
+// -checkpoint/-resume snapshot and resume the campaign across interruptions
+// with byte-identical tallies.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 partial
+// completion (campaign interrupted, checkpoint written).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"softerror/internal/ace"
+	"softerror/internal/checkpoint"
+	"softerror/internal/cli"
 	"softerror/internal/config"
 	"softerror/internal/core"
+	"softerror/internal/fault"
 	"softerror/internal/isa"
 	"softerror/internal/par"
 	"softerror/internal/pipeline"
@@ -29,10 +41,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "sersim:", err)
-		os.Exit(1)
-	}
+	cli.Exit("sersim", run(os.Args[1:]))
 }
 
 func run(args []string) error {
@@ -46,10 +55,22 @@ func run(args []string) error {
 	pet := fs.Int("pet", 512, "PET buffer entries")
 	saveTrace := fs.String("savetrace", "", "write the full trace to this file (analyse with traceview)")
 	jobs := fs.Int("j", 0, "analysis worker count (default GOMAXPROCS); output is identical at any -j")
-	if err := fs.Parse(args); err != nil {
+	strikes := fs.Int("strikes", 0, "also run a fault-injection campaign with this many strikes per configuration (0 = skip)")
+	faultSeed := fs.Uint64("faultseed", 1, "fault-injection campaign seed")
+	ckPath := fs.String("checkpoint", "", "snapshot the fault campaign to this file; removed on success")
+	resume := fs.Bool("resume", false, "resume the fault campaign from an existing -checkpoint snapshot")
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
+	if *resume && *ckPath == "" {
+		return cli.Usagef("-resume requires -checkpoint")
+	}
+	if *ckPath != "" && *strikes <= 0 {
+		return cli.Usagef("-checkpoint requires -strikes")
+	}
 	par.SetDefault(*jobs)
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	params := workload.Default()
 	pcfg := pipeline.DefaultConfig()
@@ -67,7 +88,7 @@ func run(args []string) error {
 	if *bench != "" {
 		b, ok := spec.ByName(*bench)
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q; try one of %v", *bench, spec.Names())
+			return cli.Usagef("unknown benchmark %q; try one of %v", *bench, spec.Names())
 		}
 		params = b.Params
 	}
@@ -76,7 +97,7 @@ func run(args []string) error {
 		return err
 	}
 	pol.Apply(&pcfg)
-	res, err := core.Run(core.Config{Workload: params, Pipeline: pcfg, Commits: runCommits, RegFile: true, KeepTrace: true})
+	res, err := core.RunContext(ctx, core.Config{Workload: params, Pipeline: pcfg, Commits: runCommits, RegFile: true, KeepTrace: true})
 	if err != nil {
 		return err
 	}
@@ -90,7 +111,7 @@ func run(args []string) error {
 		func() { fe = ace.AnalyzeFrontEnd(res.Trace, rep.Dead) },
 		func() { sb = ace.AnalyzeStoreBuffer(res.Trace, rep.Dead) },
 	}
-	if err := par.ForEach(context.Background(), len(analyses), 0,
+	if err := par.ForEach(ctx, len(analyses), 0,
 		func(_ context.Context, i int) error { analyses[i](); return nil }); err != nil {
 		return err
 	}
@@ -186,6 +207,13 @@ func run(args []string) error {
 	sbT.AddRow("idle", report.Pct(sb.IdleFraction()))
 	sbT.Fprint(os.Stdout)
 
+	if *strikes > 0 {
+		fmt.Println()
+		if err := faultCampaign(ctx, res, *strikes, *faultSeed, *jobs, *ckPath, *resume); err != nil {
+			return err
+		}
+	}
+
 	if *saveTrace != "" {
 		if err := tracefile.Save(*saveTrace, res.Trace); err != nil {
 			return err
@@ -193,6 +221,48 @@ func run(args []string) error {
 		fmt.Printf("\ntrace written to %s\n", *saveTrace)
 	}
 	return nil
+}
+
+// faultCampaign runs the Figure-1 protection ladder against the traced run:
+// every strike draws its own index-derived RNG stream, so the tallies are
+// byte-identical at any worker count and across checkpoint/resume cycles.
+func faultCampaign(ctx context.Context, res *core.Result, strikes int, seed uint64, jobs int, ckPath string, resume bool) error {
+	labels, cfgs := core.OutcomeConfigs(strikes, seed)
+	camp := &fault.Campaign{
+		Injector: fault.NewInjector(res.Trace, res.Report.Dead),
+		Configs:  cfgs,
+		Opts:     par.Options{Workers: jobs},
+	}
+	if ckPath != "" {
+		fp := checkpoint.Fingerprint("sersim-faults", res.Name, res.Commits, camp.Fingerprint())
+		ck, err := checkpoint.Open[fault.Result](ckPath, "sersim-faults", fp, camp.Cells(), resume)
+		if err != nil {
+			return err
+		}
+		camp.Checkpoint = ck
+	}
+	results, err := camp.Run(ctx)
+	if err != nil {
+		if ck := camp.Checkpoint; ck != nil && errors.Is(err, context.Canceled) {
+			return &cli.PartialError{
+				Done: ck.CountDone(), Total: ck.Total(), Path: ck.Path(), Err: err,
+			}
+		}
+		return err
+	}
+	t := report.New(fmt.Sprintf("fault-injection outcomes (%d strikes per configuration, seed %d)", strikes, seed),
+		"configuration", "idle", "never-read", "benign", "SDC", "false DUE", "true DUE", "suppressed", "latent")
+	for i, r := range results {
+		frac := func(o fault.Outcome) string {
+			return report.Pct(float64(r.Counts[o]) / float64(r.Strikes))
+		}
+		t.AddRow(labels[i], frac(fault.OutcomeIdle), frac(fault.OutcomeNeverRead),
+			frac(fault.OutcomeBenignUnACE), frac(fault.OutcomeSDC),
+			frac(fault.OutcomeFalseDUE), frac(fault.OutcomeTrueDUE),
+			frac(fault.OutcomeSuppressed), frac(fault.OutcomeLatent))
+	}
+	t.Fprint(os.Stdout)
+	return camp.Checkpoint.Remove()
 }
 
 func parsePolicy(s string) (core.Policy, error) {
@@ -208,6 +278,6 @@ func parsePolicy(s string) (core.Policy, error) {
 	case "throttle-l0":
 		return core.PolicyThrottleL0, nil
 	default:
-		return 0, fmt.Errorf("unknown policy %q", s)
+		return 0, cli.Usagef("unknown policy %q", s)
 	}
 }

@@ -3,15 +3,27 @@
 // cell — ready for plotting or pivoting.
 //
 //	sweep -benches mcf,ammp -policies baseline,squash-l1 -iqsizes 16,32,64,128 -out grid.csv
+//
+// Long grids can be checkpointed and resumed: -checkpoint snapshots completed
+// cells as they finish, SIGINT flushes a final snapshot, and a rerun with
+// -resume re-simulates only the missing cells — producing a CSV byte-identical
+// to an uninterrupted run, because every cell is deterministic in its index.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 partial
+// completion (interrupted or poisoned cells, checkpoint written).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"softerror/internal/checkpoint"
+	"softerror/internal/cli"
 	"softerror/internal/core"
 	"softerror/internal/par"
 	"softerror/internal/spec"
@@ -19,10 +31,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
-	}
+	cli.Exit("sweep", run(os.Args[1:]))
 }
 
 func run(args []string) error {
@@ -35,19 +44,40 @@ func run(args []string) error {
 	out := fs.String("out", "", "output CSV path (default: stdout)")
 	quiet := fs.Bool("q", false, "suppress progress on stderr")
 	jobs := fs.Int("j", 0, "simulation worker count (default GOMAXPROCS); output is identical at any -j")
-	if err := fs.Parse(args); err != nil {
+	ckPath := fs.String("checkpoint", "", "snapshot completed cells to this file; removed on success")
+	resume := fs.Bool("resume", false, "resume from an existing -checkpoint snapshot")
+	onError := fs.String("onerror", "fail", "failed-cell policy: fail (cancel grid) or continue (finish other cells)")
+	taskTimeout := fs.Duration("tasktimeout", 0, "per-cell watchdog deadline (0 = none)")
+	retries := fs.Int("retries", 0, "deterministic re-attempts for failed or hung cells")
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	par.SetDefault(*jobs)
 
-	g := &sweep.Grid{Commits: *commits, Workers: *jobs}
+	g := &sweep.Grid{
+		Commits:     *commits,
+		Workers:     *jobs,
+		TaskTimeout: *taskTimeout,
+		Retries:     *retries,
+	}
+	switch *onError {
+	case "fail":
+		g.OnError = par.FailFast
+	case "continue":
+		g.OnError = par.Collect
+	default:
+		return cli.Usagef("bad -onerror %q (want fail or continue)", *onError)
+	}
+	if *resume && *ckPath == "" {
+		return cli.Usagef("-resume requires -checkpoint")
+	}
 	g.Benches = spec.All()
 	if *benchList != "" {
 		g.Benches = g.Benches[:0]
 		for _, name := range strings.Split(*benchList, ",") {
 			b, ok := spec.ByName(strings.TrimSpace(name))
 			if !ok {
-				return fmt.Errorf("unknown benchmark %q", name)
+				return cli.Usagef("unknown benchmark %q", name)
 			}
 			g.Benches = append(g.Benches, b)
 		}
@@ -62,16 +92,32 @@ func run(args []string) error {
 	for _, s := range strings.Split(*sizeList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
-			return fmt.Errorf("bad IQ size %q", s)
+			return cli.Usagef("bad IQ size %q", s)
 		}
 		g.IQSizes = append(g.IQSizes, n)
 	}
 	for _, s := range strings.Split(*oooList, ",") {
 		v, err := strconv.ParseBool(strings.TrimSpace(s))
 		if err != nil {
-			return fmt.Errorf("bad ooo value %q", s)
+			return cli.Usagef("bad ooo value %q", s)
 		}
 		g.OutOfOrder = append(g.OutOfOrder, v)
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	var ck *checkpoint.File[sweep.Row]
+	if *ckPath != "" {
+		var err error
+		ck, err = checkpoint.Open[sweep.Row](*ckPath, "sweep", g.Fingerprint(), g.Size(), *resume)
+		if err != nil {
+			return err
+		}
+		if *resume && !*quiet {
+			fmt.Fprintf(os.Stderr, "sweep: resuming %s: %d/%d cells already done\n",
+				*ckPath, ck.CountDone(), g.Size())
+		}
 	}
 
 	progress := func(done, total int) {
@@ -82,21 +128,63 @@ func run(args []string) error {
 			}
 		}
 	}
-	rows, err := g.Run(progress)
+	rows, err := g.RunContext(ctx, ck, progress)
 	if err != nil {
-		return err
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		return finishPartial(rows, err, ck, g.Size(), *out)
 	}
 
+	if err := writeRows(*out, rows, nil); err != nil {
+		return err
+	}
+	// The artefact is complete; the snapshot has served its purpose.
+	return ck.Remove()
+}
+
+// finishPartial salvages what an interrupted or partially failed grid did
+// produce: the valid rows go to the output (poisoned cells omitted), the
+// per-cell failures go to stderr, and — when a checkpoint holds the completed
+// work — the error is classified as partial so the exit code tells scripts a
+// -resume rerun can finish the job.
+func finishPartial(rows []sweep.Row, err error, ck *checkpoint.File[sweep.Row], total int, out string) error {
+	var tasks par.Errors
+	if errors.As(err, &tasks) {
+		skip := make(map[int]bool, len(tasks))
+		for _, te := range tasks {
+			skip[te.Index] = true
+			fmt.Fprintf(os.Stderr, "sweep: cell failed: %v\n", te)
+		}
+		if werr := writeRows(out, rows, skip); werr != nil {
+			return werr
+		}
+		if ck != nil {
+			return &cli.PartialError{
+				Done: total - len(tasks), Total: total, Path: ck.Path(), Err: err,
+			}
+		}
+		return err
+	}
+	if ck != nil && errors.Is(err, context.Canceled) {
+		return &cli.PartialError{
+			Done: ck.CountDone(), Total: total, Path: ck.Path(), Err: err,
+		}
+	}
+	return err
+}
+
+func writeRows(out string, rows []sweep.Row, skip map[int]bool) error {
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	return sweep.WriteCSV(w, rows)
+	return sweep.WriteCSVSkipping(w, rows, skip)
 }
 
 func parsePolicy(s string) (core.Policy, error) {
@@ -112,6 +200,6 @@ func parsePolicy(s string) (core.Policy, error) {
 	case "throttle-l0":
 		return core.PolicyThrottleL0, nil
 	default:
-		return 0, fmt.Errorf("unknown policy %q", s)
+		return 0, cli.Usagef("unknown policy %q", s)
 	}
 }

@@ -15,16 +15,14 @@ import (
 
 	"softerror/internal/ace"
 	"softerror/internal/cache"
+	"softerror/internal/cli"
 	"softerror/internal/fault"
 	"softerror/internal/report"
 	"softerror/internal/tracefile"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "traceview:", err)
-		os.Exit(1)
-	}
+	cli.Exit("traceview", run(os.Args[1:]))
 }
 
 func run(args []string) error {
@@ -35,12 +33,12 @@ func run(args []string) error {
 		fmt.Fprintf(fs.Output(), "usage: traceview [flags] <file.trace>\n\n")
 		fs.PrintDefaults()
 	}
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("exactly one trace file required")
+		return cli.Usagef("exactly one trace file required")
 	}
 	tr, err := tracefile.Load(fs.Arg(0))
 	if err != nil {

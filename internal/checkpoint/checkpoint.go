@@ -1,0 +1,317 @@
+// Package checkpoint persists the progress of long bulk campaigns so that a
+// crash, a SIGINT, or a poisoned cell costs the remaining work, never the
+// completed work. A checkpoint is a snapshot of the campaign's
+// completed-cell bitmap plus the partial results (tallies, grid rows) of
+// those cells, written with the temp-file + atomic-rename discipline so the
+// file on disk is always a complete, parseable snapshot.
+//
+// Because every campaign in this repository is deterministic by cell index,
+// resuming from a snapshot and re-running only the missing indices produces
+// artefacts byte-identical to an uninterrupted run — the property the
+// determinism tests pin. A fingerprint of the campaign's full
+// parameterisation is stored in the snapshot and validated on load, so a
+// checkpoint can never silently resume a different campaign.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Version is the snapshot format version; snapshots with a different
+// version are refused on load.
+const Version = 1
+
+// DefaultInterval is how many newly completed cells trigger an automatic
+// Save from Put.
+const DefaultInterval = 16
+
+// Bitmap is a fixed-size bitset over cell indices.
+type Bitmap struct {
+	N     int      `json:"n"`
+	Words []uint64 `json:"words"`
+}
+
+// NewBitmap returns an empty bitmap over [0, n).
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{N: n, Words: make([]uint64, (n+63)/64)}
+}
+
+// Set marks index i.
+func (b *Bitmap) Set(i int) { b.Words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports whether index i is marked; out-of-range indices are unmarked.
+func (b *Bitmap) Get(i int) bool {
+	if b == nil || i < 0 || i >= b.N {
+		return false
+	}
+	return b.Words[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// Count returns the number of marked indices.
+func (b *Bitmap) Count() int {
+	if b == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range b.Words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// valid checks the bitmap's internal consistency against a cell count.
+func (b *Bitmap) valid(total int) bool {
+	return b != nil && b.N == total && len(b.Words) == (total+63)/64
+}
+
+// snapshot is the on-disk JSON layout.
+type snapshot[T any] struct {
+	Version     int     `json:"version"`
+	Kind        string  `json:"kind"`
+	Fingerprint string  `json:"fingerprint"`
+	Done        *Bitmap `json:"done"`
+	Cells       []T     `json:"cells"`
+}
+
+// File is a checkpoint of a campaign over a fixed cell space. The zero
+// value is not useful; build Files with New, Load or Open. A nil *File is a
+// valid no-op sink, so drivers can thread an optional checkpoint without
+// branching. All methods are safe for concurrent use.
+type File[T any] struct {
+	path        string
+	kind        string
+	fingerprint string
+
+	mu        sync.Mutex
+	done      *Bitmap
+	cells     []T
+	interval  int
+	sinceSave int
+}
+
+// New returns a fresh checkpoint bound to path; nothing is written until
+// Put or Save. kind names the campaign family ("sweep", "outcomes", ...)
+// and fingerprint its exact parameterisation — both are validated on load.
+func New[T any](path, kind, fingerprint string, total int) *File[T] {
+	return &File[T]{
+		path:        path,
+		kind:        kind,
+		fingerprint: fingerprint,
+		done:        NewBitmap(total),
+		cells:       make([]T, total),
+		interval:    DefaultInterval,
+	}
+}
+
+// Load reads an existing snapshot, refusing version, kind, fingerprint or
+// geometry mismatches: a checkpoint resumes exactly the campaign that wrote
+// it, or nothing.
+func Load[T any](path, kind, fingerprint string, total int) (*File[T], error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot[T]
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("checkpoint: parse %s: %w", path, err)
+	}
+	switch {
+	case s.Version != Version:
+		return nil, fmt.Errorf("checkpoint: %s has format version %d, want %d", path, s.Version, Version)
+	case s.Kind != kind:
+		return nil, fmt.Errorf("checkpoint: %s is a %q snapshot, want %q", path, s.Kind, kind)
+	case s.Fingerprint != fingerprint:
+		return nil, fmt.Errorf("checkpoint: %s was written by a different campaign configuration (fingerprint %s, want %s); delete it or rerun with the original flags", path, s.Fingerprint, fingerprint)
+	case !s.Done.valid(total) || len(s.Cells) != total:
+		return nil, fmt.Errorf("checkpoint: %s cell geometry does not match the campaign (%d cells)", path, total)
+	}
+	return &File[T]{
+		path:        path,
+		kind:        kind,
+		fingerprint: fingerprint,
+		done:        s.Done,
+		cells:       s.Cells,
+		interval:    DefaultInterval,
+	}, nil
+}
+
+// Open is the driver-facing constructor: with resume set it loads path if
+// it exists (a missing file starts fresh, so the first run of a campaign
+// may already pass -resume); without resume it refuses to clobber an
+// existing snapshot, forcing the operator to choose between resuming and
+// deleting.
+func Open[T any](path, kind, fingerprint string, total int, resume bool) (*File[T], error) {
+	if resume {
+		f, err := Load[T](path, kind, fingerprint, total)
+		if err == nil {
+			return f, nil
+		}
+		if os.IsNotExist(err) {
+			return New[T](path, kind, fingerprint, total), nil
+		}
+		return nil, err
+	}
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("checkpoint: %s already exists; resume it with -resume or delete it first", path)
+	}
+	return New[T](path, kind, fingerprint, total), nil
+}
+
+// Done reports whether cell i has a recorded result. Nil-safe.
+func (f *File[T]) Done(i int) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done.Get(i)
+}
+
+// Get returns cell i's recorded result, if present. Nil-safe.
+func (f *File[T]) Get(i int) (T, bool) {
+	var zero T
+	if f == nil {
+		return zero, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.done.Get(i) {
+		return zero, false
+	}
+	return f.cells[i], true
+}
+
+// Put records cell i's result and saves the snapshot if the autosave
+// interval has elapsed. Nil-safe no-op.
+func (f *File[T]) Put(i int, v T) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cells[i] = v
+	f.done.Set(i)
+	f.sinceSave++
+	if f.interval > 0 && f.sinceSave >= f.interval {
+		return f.saveLocked()
+	}
+	return nil
+}
+
+// SetInterval overrides the autosave interval (cells per Save); n <= 0
+// disables autosaving, leaving explicit Save calls. Nil-safe.
+func (f *File[T]) SetInterval(n int) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.interval = n
+}
+
+// Save writes the snapshot atomically: marshal, write to a temp file in the
+// same directory, fsync, rename. Nil-safe.
+func (f *File[T]) Save() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.saveLocked()
+}
+
+func (f *File[T]) saveLocked() error {
+	data, err := json.Marshal(snapshot[T]{
+		Version:     Version,
+		Kind:        f.kind,
+		Fingerprint: f.fingerprint,
+		Done:        f.done,
+		Cells:       f.cells,
+	})
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal: %w", err)
+	}
+	dir := filepath.Dir(f.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(f.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), f.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	f.sinceSave = 0
+	return nil
+}
+
+// CountDone returns the number of completed cells. Nil-safe.
+func (f *File[T]) CountDone() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done.Count()
+}
+
+// Total returns the campaign's cell count. Nil-safe (zero).
+func (f *File[T]) Total() int {
+	if f == nil {
+		return 0
+	}
+	return f.done.N
+}
+
+// Path returns the snapshot location. Nil-safe (empty).
+func (f *File[T]) Path() string {
+	if f == nil {
+		return ""
+	}
+	return f.path
+}
+
+// Remove deletes the snapshot file — called after a campaign completes so a
+// finished run leaves nothing to resume. A missing file is not an error.
+// Nil-safe.
+func (f *File[T]) Remove() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := os.Remove(f.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Fingerprint hashes a campaign's parameterisation into a short stable
+// string for snapshot validation. Pass every axis that changes the meaning
+// of a cell index or its result.
+func Fingerprint(parts ...any) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v\x00", p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

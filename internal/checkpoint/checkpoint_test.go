@@ -1,0 +1,186 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	fp := Fingerprint("test", 42)
+	f := New[int](path, "test", fp, 10)
+	for _, i := range []int{0, 3, 9} {
+		if err := f.Put(i, i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := Load[int](path, "test", fp, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CountDone() != 3 {
+		t.Fatalf("CountDone = %d, want 3", g.CountDone())
+	}
+	for _, i := range []int{0, 3, 9} {
+		v, ok := g.Get(i)
+		if !ok || v != i*i {
+			t.Errorf("Get(%d) = %d, %v; want %d, true", i, v, ok, i*i)
+		}
+	}
+	if _, ok := g.Get(1); ok {
+		t.Error("Get(1) reported a result for an incomplete cell")
+	}
+	if g.Done(1) || !g.Done(3) {
+		t.Error("Done bitmap did not survive the roundtrip")
+	}
+}
+
+func TestLoadRefusesMismatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	f := New[int](path, "sweep", Fingerprint("a"), 4)
+	if err := f.Save(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, kind, fp string
+		total          int
+		wantSub        string
+	}{
+		{"kind", "outcomes", Fingerprint("a"), 4, "snapshot"},
+		{"fingerprint", "sweep", Fingerprint("b"), 4, "different campaign"},
+		{"geometry", "sweep", Fingerprint("a"), 8, "geometry"},
+	}
+	for _, c := range cases {
+		_, err := Load[int](path, c.kind, c.fp, c.total)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s mismatch: err = %v, want mention of %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestOpenRefusesClobberButResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	fp := Fingerprint("x")
+
+	// resume with no file on disk starts fresh
+	f, err := Open[int](path, "k", fp, 4, true)
+	if err != nil {
+		t.Fatalf("resume without snapshot: %v", err)
+	}
+	if err := f.Put(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// non-resume open must not clobber the existing snapshot
+	if _, err := Open[int](path, "k", fp, 4, false); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("clobbering open: err = %v, want refusal pointing at -resume", err)
+	}
+
+	// resume picks the work back up
+	g, err := Open[int](path, "k", fp, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := g.Get(2); !ok || v != 7 {
+		t.Fatalf("resumed Get(2) = %d, %v; want 7, true", v, ok)
+	}
+}
+
+func TestAutosaveInterval(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	f := New[int](path, "k", "fp", 8)
+	f.SetInterval(2)
+	if err := f.Put(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("snapshot written before the autosave interval elapsed")
+	}
+	if err := f.Put(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("autosave did not write the snapshot: %v", err)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	f := New[string](filepath.Join(dir, "camp.ckpt"), "k", "fp", 2)
+	if err := f.Put(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Save(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "camp.ckpt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only camp.ckpt", names)
+	}
+}
+
+func TestNilFileIsNoOpSink(t *testing.T) {
+	var f *File[int]
+	if f.Done(0) || f.CountDone() != 0 || f.Total() != 0 || f.Path() != "" {
+		t.Error("nil File reported state")
+	}
+	if _, ok := f.Get(0); ok {
+		t.Error("nil File returned a value")
+	}
+	if err := f.Put(0, 1); err != nil {
+		t.Errorf("nil Put: %v", err)
+	}
+	if err := f.Save(); err != nil {
+		t.Errorf("nil Save: %v", err)
+	}
+	if err := f.Remove(); err != nil {
+		t.Errorf("nil Remove: %v", err)
+	}
+	f.SetInterval(3)
+}
+
+func TestRemove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	f := New[int](path, "k", "fp", 1)
+	if err := f.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("snapshot survived Remove")
+	}
+	if err := f.Remove(); err != nil {
+		t.Fatalf("second Remove errored: %v", err)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a := Fingerprint("sweep", 1, true)
+	if a != Fingerprint("sweep", 1, true) {
+		t.Error("Fingerprint is not deterministic")
+	}
+	if a == Fingerprint("sweep", 1, false) {
+		t.Error("Fingerprint ignored a differing part")
+	}
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Error("Fingerprint concatenation is ambiguous across part boundaries")
+	}
+}

@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{flag.ErrHelp, ExitOK},
+		{errors.New("boom"), ExitRuntime},
+		{Usagef("bad flag"), ExitUsage},
+		{&PartialError{Done: 3, Total: 8, Path: "x.ckpt", Err: errors.New("interrupted")}, ExitPartial},
+		{fmt.Errorf("wrapped: %w", Usagef("inner")), ExitUsage},
+		{fmt.Errorf("wrapped: %w", &PartialError{Err: errors.New("e")}), ExitPartial},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestParseClassifiesFlagErrors(t *testing.T) {
+	newFS := func() *flag.FlagSet {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		fs.Bool("ok", false, "")
+		return fs
+	}
+	if err := Parse(newFS(), []string{"-ok"}); err != nil {
+		t.Errorf("valid args: %v", err)
+	}
+	if err := Parse(newFS(), []string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: err = %v, want flag.ErrHelp through unwrapped", err)
+	}
+	err := Parse(newFS(), []string{"-nope"})
+	var ue *UsageError
+	if !errors.As(err, &ue) {
+		t.Errorf("unknown flag: err = %v (%T), want *UsageError", err, err)
+	}
+}
+
+func TestPartialErrorMessage(t *testing.T) {
+	pe := &PartialError{Done: 5, Total: 9, Path: "grid.ckpt", Err: errors.New("interrupt")}
+	msg := pe.Error()
+	for _, want := range []string{"5/9", "grid.ckpt", "-resume", "interrupt"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("PartialError message %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(pe, pe.Err) {
+		t.Error("PartialError does not unwrap to its cause")
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"softerror/internal/ace"
@@ -121,6 +122,13 @@ type Result struct {
 // Run executes one simulation end to end: build the generator, warm the
 // hierarchy, run the pipeline, and integrate the AVFs.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation threaded through the
+// pipeline's cycle loop, so a SIGINT or watchdog aborts within one
+// simulation rather than one campaign.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Commits == 0 {
 		cfg.Commits = DefaultCommits
 	}
@@ -149,7 +157,10 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := pipe.Run(cfg.Commits, true)
+	tr, err := pipe.RunContext(ctx, cfg.Commits, true)
+	if err != nil {
+		return nil, err
+	}
 	rep := ace.Analyze(tr)
 	res := &Result{
 		Name:           cfg.Workload.Name,

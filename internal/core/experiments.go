@@ -9,6 +9,7 @@ import (
 
 	"softerror/internal/ace"
 	"softerror/internal/cache"
+	"softerror/internal/checkpoint"
 	"softerror/internal/fault"
 	"softerror/internal/par"
 	"softerror/internal/pipeline"
@@ -33,10 +34,22 @@ type Suite struct {
 	// Workers bounds Prewarm's parallelism; <= 0 means the par package
 	// default (GOMAXPROCS, or the -j flag of the calling command).
 	Workers int
+	// Ctx, when non-nil, threads cancellation into every simulation the
+	// suite runs: SIGINT-aware drivers set it so an interrupt aborts within
+	// one simulation. Nil means context.Background().
+	Ctx context.Context
 
 	mu      sync.Mutex
 	results map[suiteKey]*suiteCell
 	sims    atomic.Uint64
+}
+
+// ctx resolves the suite's cancellation context.
+func (s *Suite) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // suiteKey identifies one memo cell. A comparable struct key keeps the hot
@@ -97,7 +110,7 @@ func (s *Suite) simulate(b spec.Benchmark, pol Policy) (*Result, error) {
 	s.sims.Add(1)
 	pcfg := pipeline.DefaultConfig()
 	pol.Apply(&pcfg)
-	r, err := Run(Config{Workload: b.Params, Pipeline: pcfg, Commits: s.Commits})
+	r, err := RunContext(s.ctx(), Config{Workload: b.Params, Pipeline: pcfg, Commits: s.Commits})
 	if err != nil {
 		return nil, fmt.Errorf("core: %s under %v: %w", b.Name, pol, err)
 	}
@@ -131,7 +144,7 @@ func (s *Suite) Prewarm(policies ...Policy) error {
 		policies = AllPolicies()
 	}
 	cells := len(s.Benches) * len(policies)
-	return par.ForEach(context.Background(), cells, s.Workers,
+	return par.ForEach(s.ctx(), cells, s.Workers,
 		func(_ context.Context, i int) error {
 			b := s.Benches[i/len(policies)]
 			pol := policies[i%len(policies)]
@@ -426,20 +439,13 @@ type OutcomeRow struct {
 	Counts  [fault.NumOutcomes]uint64
 }
 
-// Outcomes runs fault-injection campaigns on one benchmark: the unprotected
-// queue, the conservative parity queue, and parity with each tracking
-// level, with the given number of strikes each.
-func Outcomes(b spec.Benchmark, commits uint64, strikes int, seed uint64) ([]OutcomeRow, error) {
-	if commits == 0 {
-		commits = DefaultCommits
-	}
-	res, err := Run(Config{Workload: b.Params, Commits: commits, KeepTrace: true})
-	if err != nil {
-		return nil, err
-	}
-	inj := fault.NewInjector(res.Trace, res.Report.Dead)
-	labels := []string{"unprotected", "parity"}
-	cfgs := []fault.Config{
+// OutcomeConfigs builds the Figure-1 configuration ladder — the unprotected
+// queue, the conservative parity queue, and parity with each tracking level
+// — with the given strike budget and seed each. The labels parallel the
+// configs.
+func OutcomeConfigs(strikes int, seed uint64) (labels []string, cfgs []fault.Config) {
+	labels = []string{"unprotected", "parity"}
+	cfgs = []fault.Config{
 		{Protection: cache.ProtNone},
 		{Protection: cache.ProtParity, Level: ace.TrackNever},
 	}
@@ -447,14 +453,54 @@ func Outcomes(b spec.Benchmark, commits uint64, strikes int, seed uint64) ([]Out
 		labels = append(labels, fmt.Sprintf("parity+%v", lvl))
 		cfgs = append(cfgs, fault.Config{Protection: cache.ProtParity, Level: lvl})
 	}
-	// Each configuration is an independent campaign with its own RNG stream
-	// seeded identically to the serial path, so the fan-out is bit-identical
-	// at any worker count.
 	for i := range cfgs {
 		cfgs[i].Strikes = strikes
 		cfgs[i].Seed = seed
 	}
-	campaigns, err := inj.RunMany(cfgs, 0)
+	return labels, cfgs
+}
+
+// OutcomesPlan returns the checkpoint geometry of an Outcomes campaign: the
+// cell count and the campaign fingerprint (mixing in the trace identity, so
+// a snapshot can never resume against a different trace). Drivers use it to
+// open a checkpoint.File[fault.Result] before running OutcomesCampaign.
+func OutcomesPlan(b spec.Benchmark, commits uint64, strikes int, seed uint64) (cells int, fingerprint string) {
+	if commits == 0 {
+		commits = DefaultCommits
+	}
+	_, cfgs := OutcomeConfigs(strikes, seed)
+	camp := &fault.Campaign{Configs: cfgs}
+	return camp.Cells(), checkpoint.Fingerprint("outcomes", b.Name, commits, camp.Fingerprint())
+}
+
+// Outcomes runs fault-injection campaigns on one benchmark: the unprotected
+// queue, the conservative parity queue, and parity with each tracking
+// level, with the given number of strikes each.
+func Outcomes(b spec.Benchmark, commits uint64, strikes int, seed uint64) ([]OutcomeRow, error) {
+	return OutcomesCampaign(context.Background(), b, commits, strikes, seed, 0, nil)
+}
+
+// OutcomesCampaign is Outcomes with cancellation, worker-pool control and an
+// optional checkpoint: completed cells are restored instead of re-run, and
+// on interruption the completed work is flushed to the snapshot. Per-strike
+// RNG streams keep the output byte-identical regardless of worker count or
+// how many times the campaign was interrupted and resumed.
+func OutcomesCampaign(ctx context.Context, b spec.Benchmark, commits uint64, strikes int, seed uint64, workers int, ck *checkpoint.File[fault.Result]) ([]OutcomeRow, error) {
+	if commits == 0 {
+		commits = DefaultCommits
+	}
+	res, err := RunContext(ctx, Config{Workload: b.Params, Commits: commits, KeepTrace: true})
+	if err != nil {
+		return nil, err
+	}
+	labels, cfgs := OutcomeConfigs(strikes, seed)
+	camp := &fault.Campaign{
+		Injector:   fault.NewInjector(res.Trace, res.Report.Dead),
+		Configs:    cfgs,
+		Opts:       par.Options{Workers: workers},
+		Checkpoint: ck,
+	}
+	campaigns, err := camp.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -526,10 +572,10 @@ type RegFileRow struct {
 // (the register analysis needs commit cycles and uncompacted deadness);
 // they fan out over the worker pool, one per benchmark.
 func (s *Suite) RegFile() ([]RegFileRow, error) {
-	return par.Map(context.Background(), len(s.Benches), s.Workers,
-		func(_ context.Context, i int) (RegFileRow, error) {
+	return par.Map(s.ctx(), len(s.Benches), s.Workers,
+		func(ctx context.Context, i int) (RegFileRow, error) {
 			b := s.Benches[i]
-			r, err := Run(Config{Workload: b.Params, Commits: s.Commits, RegFile: true})
+			r, err := RunContext(ctx, Config{Workload: b.Params, Commits: s.Commits, RegFile: true})
 			if err != nil {
 				return RegFileRow{}, fmt.Errorf("core: regfile %s: %w", b.Name, err)
 			}

@@ -164,39 +164,98 @@ func NewStructureInjector(res []pipeline.Residency, cycles uint64, entries int, 
 	return inj
 }
 
-// Run executes a campaign and returns the tallied outcomes.
-func (inj *Injector) Run(cfg Config) (*Result, error) {
-	if cfg.Strikes <= 0 {
-		return nil, fmt.Errorf("fault: Strikes = %d, want > 0", cfg.Strikes)
+// strikeSeqBase offsets the RNG sequence space of strike streams; each
+// strike index derives its own PCG sequence from it.
+const strikeSeqBase = uint64(0xfa17) << 32
+
+// strikeStream returns strike i's private RNG stream. Deriving the stream
+// from (seed, index) — rather than drawing all strikes from one sequential
+// stream — makes every strike an independently addressable unit of work:
+// any partition of the index space (chunked checkpoints, parallel fan-out,
+// watchdog retries, single-strike replays) tallies exactly what a serial
+// sweep of [0, Strikes) would.
+func strikeStream(seed uint64, i int) *rng.Stream {
+	return rng.New(seed, strikeSeqBase+uint64(i))
+}
+
+// Merge folds o's tallies into r. Campaign chunks merged in any order
+// reproduce the full campaign exactly (unsigned addition is exact and
+// commutative).
+func (r *Result) Merge(o *Result) {
+	for i := range r.Counts {
+		r.Counts[i] += o.Counts[i]
 	}
-	if inj.capacity == 0 {
-		return nil, fmt.Errorf("fault: empty trace")
-	}
+	r.Strikes += o.Strikes
+}
+
+// engine builds the tracking engine a campaign configuration implies.
+func (cfg Config) engine() *pibit.Engine {
 	pet := cfg.PETEntries
 	if pet <= 0 {
 		pet = 512
 	}
-	engine := &pibit.Engine{Level: cfg.Level, PETEntries: pet, Window: pibit.DefaultWindow}
-	s := rng.New(cfg.Seed, 0xfa17)
+	return &pibit.Engine{Level: cfg.Level, PETEntries: pet, Window: pibit.DefaultWindow}
+}
+
+// Run executes a campaign and returns the tallied outcomes.
+func (inj *Injector) Run(cfg Config) (*Result, error) {
+	return inj.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the strike loop checks
+// ctx periodically, so SIGINT or a watchdog aborts within one campaign, not
+// after it.
+func (inj *Injector) RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Strikes <= 0 {
+		return nil, fmt.Errorf("fault: Strikes = %d, want > 0", cfg.Strikes)
+	}
+	return inj.RunRange(ctx, cfg, 0, cfg.Strikes)
+}
+
+// RunRange executes strikes [lo, hi) of a campaign. Because every strike
+// owns an index-derived RNG stream and the tracking engine holds no
+// cross-strike state, tallies of any partition of [0, cfg.Strikes) merge to
+// exactly the full campaign's tallies — the property that makes chunked
+// checkpoints resumable without drift.
+func (inj *Injector) RunRange(ctx context.Context, cfg Config, lo, hi int) (*Result, error) {
+	if lo < 0 || hi < lo || hi > cfg.Strikes {
+		return nil, fmt.Errorf("fault: strike range [%d, %d) outside [0, %d)", lo, hi, cfg.Strikes)
+	}
+	if inj.capacity == 0 {
+		return nil, fmt.Errorf("fault: empty trace")
+	}
+	engine := cfg.engine()
 	res := &Result{}
-	for i := 0; i < cfg.Strikes; i++ {
-		o := inj.strike(s, cfg, engine)
+	for i := lo; i < hi; i++ {
+		// Check for cancellation every 1024 strikes: cheap enough to keep
+		// the loop tight, frequent enough that a SIGINT or watchdog stops a
+		// campaign mid-flight instead of at its end.
+		if i&1023 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		o := inj.strike(strikeStream(cfg.Seed, i), cfg, engine)
 		res.Counts[o]++
 		res.Strikes++
 	}
 	return res, nil
 }
 
+// StrikeOutcome classifies strike i of a campaign in isolation. It returns
+// exactly what a full campaign records for index i — strikes share no
+// state — which is what lets a retried or replayed cell be byte-identical
+// to its first-try counterpart.
+func (inj *Injector) StrikeOutcome(cfg Config, i int) Outcome {
+	return inj.strike(strikeStream(cfg.Seed, i), cfg, cfg.engine())
+}
+
 // RunMany executes one campaign per configuration, fanning them out over
 // the worker pool (workers <= 0 means the par package default). The injector
-// is read-only during campaigns and every campaign owns its RNG stream and
-// tracking engine, seeded exactly as a serial Run would be — so the result
-// slice is bit-identical to running the configurations one after another.
+// is read-only during campaigns and every strike owns an index-derived RNG
+// stream — so the result slice is bit-identical to running the
+// configurations one after another.
 func (inj *Injector) RunMany(cfgs []Config, workers int) ([]*Result, error) {
-	return par.Map(context.Background(), len(cfgs), workers,
-		func(_ context.Context, i int) (*Result, error) {
-			return inj.Run(cfgs[i])
-		})
+	c := &Campaign{Injector: inj, Configs: cfgs, Opts: par.Options{Workers: workers}}
+	return c.Run(context.Background())
 }
 
 // strike injects one uniformly sampled fault and classifies it.

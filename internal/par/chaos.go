@@ -1,0 +1,38 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// ChaosFunc is a test-only fault injector. When installed, the engine calls
+// it at the start of every task attempt, inside the panic-isolation and
+// watchdog scope, so a hook can simulate the three classic worker failures:
+//
+//   - panic: simply panic — the engine must convert it to a TaskError;
+//   - hang: block on ctx.Done() (cooperative) or on a private channel
+//     (non-cooperative) — the watchdog must detect it;
+//   - transient error: return an error for attempt 1 only — the retry must
+//     heal it, and determinism tests can prove the retried cell is
+//     byte-identical to a first-try cell.
+//
+// Returning nil lets the real task run.
+type ChaosFunc func(ctx context.Context, index, attempt int) error
+
+// chaosBox wraps the hook so atomic.Value can hold a nil function.
+type chaosBox struct{ h ChaosFunc }
+
+var chaosHook atomic.Value
+
+// SetChaos installs (or, with nil, clears) the chaos hook. It exists for
+// resilience tests only — production drivers must never set it. Tests should
+// clear it via t.Cleanup(func() { par.SetChaos(nil) }).
+func SetChaos(h ChaosFunc) { chaosHook.Store(chaosBox{h: h}) }
+
+// chaos returns the installed hook, or nil.
+func chaos() ChaosFunc {
+	if b, ok := chaosHook.Load().(chaosBox); ok {
+		return b.h
+	}
+	return nil
+}

@@ -10,12 +10,17 @@
 // engine guarantees that by construction: workers claim indices from an
 // atomic counter, write results only to their own index, and all ordering
 // decisions (aggregation, CSV emission) happen in index order afterwards.
+//
+// The engine is also the campaign's containment boundary: worker panics are
+// recovered into typed TaskErrors instead of crashing the process, a
+// per-task watchdog detects hung simulations, and failed or hung cells can
+// be deterministically retried or skipped (Collect policy) so that a single
+// poisoned cell costs one cell, not the whole run. See Run and Options.
 package par
 
 import (
 	"context"
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -47,53 +52,13 @@ func Workers(n int) int {
 }
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on up to workers goroutines
-// (resolved through Workers). The first error cancels the context and stops
-// unclaimed indices; in-flight calls run to completion. ForEach returns the
-// first error in claim order, or ctx's error if it was cancelled externally.
+// (resolved through Workers). The first failure cancels the context and
+// stops unclaimed indices; in-flight calls run to completion. ForEach
+// returns the first failure in claim order as a *TaskError (a recovered
+// worker panic included), or ctx's error if it was cancelled externally.
+// It is Run with fail-fast policy and no watchdog or retries.
 func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
-	if n <= 0 {
-		return ctx.Err()
-	}
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || ctx.Err() != nil {
-					return
-				}
-				if err := fn(ctx, i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
+	return Run(ctx, n, Options{Workers: workers}, fn)
 }
 
 // Map runs fn over [0, n) on up to workers goroutines and returns the

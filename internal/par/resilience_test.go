@@ -1,0 +1,206 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCollectIsolatesPanic(t *testing.T) {
+	const n = 16
+	var done [n]atomic.Bool
+	err := Run(context.Background(), n, Options{Workers: 4, Policy: Collect},
+		func(_ context.Context, i int) error {
+			if i == 5 {
+				panic("poisoned cell")
+			}
+			done[i].Store(true)
+			return nil
+		})
+	var es Errors
+	if !errors.As(err, &es) {
+		t.Fatalf("err = %v (%T), want Errors", err, err)
+	}
+	if len(es) != 1 || es[0].Index != 5 {
+		t.Fatalf("failures = %v, want exactly index 5", es.Indices())
+	}
+	te := es[0]
+	if te.Stack == nil {
+		t.Error("TaskError.Stack is nil for a panic")
+	}
+	if !strings.Contains(te.Error(), "panicked") || !strings.Contains(te.Error(), "poisoned cell") {
+		t.Errorf("TaskError message %q lacks panic details", te)
+	}
+	for i := 0; i < n; i++ {
+		if i != 5 && !done[i].Load() {
+			t.Errorf("index %d did not complete; a panic must cost only its own cell", i)
+		}
+	}
+}
+
+func TestFailFastReturnsTaskError(t *testing.T) {
+	err := Run(context.Background(), 64, Options{Workers: 2, Policy: FailFast},
+		func(_ context.Context, i int) error {
+			if i == 3 {
+				return fmt.Errorf("boom")
+			}
+			return nil
+		})
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v (%T), want *TaskError", err, err)
+	}
+	if te.Index != 3 || te.Attempts != 1 {
+		t.Errorf("TaskError = %+v, want index 3, 1 attempt", te)
+	}
+	if te.Stack != nil {
+		t.Error("plain error grew a stack")
+	}
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	var attempts atomic.Int64
+	err := Run(context.Background(), 4, Options{Workers: 2, Retries: 2},
+		func(_ context.Context, i int) error {
+			if i == 2 && attempts.Add(1) == 1 {
+				return fmt.Errorf("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("retry did not absorb a transient failure: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("index 2 ran %d attempts, want 2", got)
+	}
+}
+
+func TestRetriesExhaustedReportsAttempts(t *testing.T) {
+	err := Run(context.Background(), 1, Options{Retries: 2, Policy: Collect},
+		func(_ context.Context, i int) error { return fmt.Errorf("always") })
+	var es Errors
+	if !errors.As(err, &es) || len(es) != 1 {
+		t.Fatalf("err = %v, want one-entry Errors", err)
+	}
+	if es[0].Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3 (1 + 2 retries)", es[0].Attempts)
+	}
+}
+
+func TestWatchdogCooperativeHang(t *testing.T) {
+	err := Run(context.Background(), 2, Options{Workers: 2, Policy: Collect, Timeout: 20 * time.Millisecond},
+		func(ctx context.Context, i int) error {
+			if i == 1 {
+				<-ctx.Done() // hung simulation that honours cancellation
+				return ctx.Err()
+			}
+			return nil
+		})
+	var es Errors
+	if !errors.As(err, &es) || len(es) != 1 || es[0].Index != 1 {
+		t.Fatalf("err = %v, want Errors{index 1}", err)
+	}
+	if !errors.Is(es[0], ErrHung) {
+		t.Errorf("hung task error %v does not wrap ErrHung", es[0])
+	}
+}
+
+func TestWatchdogAbandonsUnresponsiveTask(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	err := Run(context.Background(), 1,
+		Options{Policy: Collect, Timeout: 10 * time.Millisecond, Grace: 10 * time.Millisecond},
+		func(ctx context.Context, i int) error {
+			<-release // ignores ctx entirely
+			return nil
+		})
+	var es Errors
+	if !errors.As(err, &es) || len(es) != 1 {
+		t.Fatalf("err = %v, want one-entry Errors", err)
+	}
+	if !errors.Is(es[0], ErrHung) || !strings.Contains(es[0].Error(), "abandoned") {
+		t.Errorf("abandoned task error = %v, want ErrHung with abandonment note", es[0])
+	}
+}
+
+func TestRetryAfterHang(t *testing.T) {
+	var attempts atomic.Int64
+	err := Run(context.Background(), 1,
+		Options{Timeout: 20 * time.Millisecond, Retries: 1},
+		func(ctx context.Context, i int) error {
+			if attempts.Add(1) == 1 {
+				<-ctx.Done()
+				return ctx.Err()
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("retry after hang failed: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("ran %d attempts, want 2", got)
+	}
+}
+
+func TestExternalCancelCarriesNoBlame(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	err := Run(ctx, 8, Options{Workers: 1, Policy: Collect},
+		func(ctx context.Context, i int) error {
+			select {
+			case started <- struct{}{}:
+				cancel()
+			default:
+			}
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled, not task blame", err)
+	}
+}
+
+func TestChaosHookInjectsAndRetries(t *testing.T) {
+	SetChaos(func(_ context.Context, index, attempt int) error {
+		if attempt == 1 {
+			return fmt.Errorf("chaos: transient fault at %d", index)
+		}
+		return nil
+	})
+	t.Cleanup(func() { SetChaos(nil) })
+	var ran atomic.Int64
+	err := Run(context.Background(), 6, Options{Workers: 3, Retries: 1},
+		func(_ context.Context, i int) error { ran.Add(1); return nil })
+	if err != nil {
+		t.Fatalf("chaos-injected transients not absorbed by one retry: %v", err)
+	}
+	if got := ran.Load(); got != 6 {
+		t.Errorf("%d tasks ran, want 6", got)
+	}
+}
+
+func TestChaosHookCanPanic(t *testing.T) {
+	SetChaos(func(_ context.Context, index, attempt int) error {
+		if index == 0 {
+			panic("chaos panic")
+		}
+		return nil
+	})
+	t.Cleanup(func() { SetChaos(nil) })
+	err := Run(context.Background(), 2, Options{Policy: Collect},
+		func(_ context.Context, i int) error { return nil })
+	var es Errors
+	if !errors.As(err, &es) || len(es) != 1 || es[0].Index != 0 || es[0].Stack == nil {
+		t.Fatalf("err = %v, want Errors{index 0 with stack}", err)
+	}
+}
+
+func TestRunEmptyAndNil(t *testing.T) {
+	if err := Run(context.Background(), 0, Options{}, nil); err != nil {
+		t.Fatalf("n=0 Run errored: %v", err)
+	}
+}

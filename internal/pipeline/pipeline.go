@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -121,9 +122,22 @@ func MustNew(cfg Config, src Source, mem *cache.Hierarchy) *Pipeline {
 // controls whether residencies and the commit log are captured (disable for
 // warm-up runs).
 func (p *Pipeline) Run(commits uint64, record bool) *Trace {
+	tr, _ := p.RunContext(context.Background(), commits, record)
+	return tr
+}
+
+// RunContext is Run with cooperative cancellation: the cycle loop checks
+// ctx every few thousand cycles, so a SIGINT or a per-task watchdog aborts
+// within one simulation rather than waiting for it to finish. A cancelled
+// run returns a nil trace and ctx's error; the pipeline must not be reused
+// afterwards.
+func (p *Pipeline) RunContext(ctx context.Context, commits uint64, record bool) (*Trace, error) {
 	lastCommitCycle := uint64(0)
 	lastCommits := uint64(0)
 	for p.trace.Commits < commits {
+		if p.cycle&4095 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		p.step(record)
 		if p.trace.Commits != lastCommits {
 			lastCommits = p.trace.Commits
@@ -170,7 +184,7 @@ func (p *Pipeline) Run(commits uint64, record bool) *Trace {
 		}
 		p.trace.CommitLog, p.trace.CommitCycles = sortedLog, sortedCycles
 	}
-	return &p.trace
+	return &p.trace, nil
 }
 
 // step advances one cycle.

@@ -12,7 +12,9 @@ import (
 	"io"
 	"strconv"
 	"sync"
+	"time"
 
+	"softerror/internal/checkpoint"
 	"softerror/internal/core"
 	"softerror/internal/par"
 	"softerror/internal/pipeline"
@@ -32,6 +34,17 @@ type Grid struct {
 	// Workers bounds Run's parallelism; <= 0 means the par package default
 	// (GOMAXPROCS, or the -j flag of the calling command).
 	Workers int
+	// OnError selects the failure policy: par.FailFast (default) cancels
+	// the grid on the first failed cell; par.Collect finishes every other
+	// cell and reports the poisoned ones as par.Errors.
+	OnError par.Policy
+	// TaskTimeout is the per-cell watchdog deadline (0 = none): a hung
+	// simulation is cancelled, retried per Retries, and reported hung.
+	TaskTimeout time.Duration
+	// Retries is the number of deterministic re-attempts for failed or
+	// hung cells; cells are index-deterministic, so a retried cell is
+	// byte-identical to a first-try cell.
+	Retries int
 }
 
 // Row is one cell's measurements.
@@ -85,11 +98,52 @@ func (g *Grid) cell(i int) (b spec.Benchmark, pol core.Policy, iq int, ooo bool)
 	return b, pol, iq, ooo
 }
 
+// Fingerprint identifies the grid's full parameterisation (every axis that
+// changes what a cell index means or measures) for checkpoint validation.
+func (g *Grid) Fingerprint() string {
+	commits := g.Commits
+	if commits == 0 {
+		commits = core.DefaultCommits
+	}
+	parts := []any{"sweep-grid", commits}
+	for _, b := range g.Benches {
+		parts = append(parts, b.Name)
+	}
+	for _, p := range g.Policies {
+		parts = append(parts, uint8(p))
+	}
+	for _, n := range g.IQSizes {
+		parts = append(parts, n)
+	}
+	for _, o := range g.OutOfOrder {
+		parts = append(parts, o)
+	}
+	return checkpoint.Fingerprint(parts...)
+}
+
 // Run executes the grid on the worker pool and returns one row per cell, in
 // axis order (benchmark-major) regardless of scheduling: each worker writes
 // only its own index of a pre-sized slice. progress, if non-nil, is called
 // after each completed cell with a strictly increasing done count.
 func (g *Grid) Run(progress func(done, total int)) ([]Row, error) {
+	rows, err := g.RunContext(context.Background(), nil, progress)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RunContext is Run with cancellation, an optional checkpoint, and the
+// grid's resilience knobs (OnError, TaskTimeout, Retries) applied.
+//
+// Cells recorded in ck are restored, not re-simulated, and newly completed
+// cells are written back, so an interrupted grid resumes where it stopped;
+// determinism by cell index makes the resumed artefact byte-identical to an
+// uninterrupted run. On failure RunContext flushes the checkpoint and
+// returns the partial rows alongside the error — under par.Collect the
+// error is a par.Errors listing exactly the poisoned cells, every other row
+// being valid.
+func (g *Grid) RunContext(ctx context.Context, ck *checkpoint.File[Row], progress func(done, total int)) ([]Row, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
 	}
@@ -98,19 +152,38 @@ func (g *Grid) Run(progress func(done, total int)) ([]Row, error) {
 		commits = core.DefaultCommits
 	}
 	total := g.Size()
+	if ck != nil && ck.Total() != total {
+		return nil, fmt.Errorf("sweep: checkpoint has %d cells, grid has %d", ck.Total(), total)
+	}
 	rows := make([]Row, total)
-	var (
-		mu   sync.Mutex
-		done int
-	)
-	err := par.ForEach(context.Background(), total, g.Workers,
-		func(_ context.Context, i int) error {
+	done := 0
+	for i := 0; i < total; i++ {
+		if v, ok := ck.Get(i); ok {
+			rows[i] = v
+			done++
+		}
+	}
+	var mu sync.Mutex
+	if progress != nil && done > 0 {
+		progress(done, total)
+	}
+	opts := par.Options{
+		Workers: g.Workers,
+		Policy:  g.OnError,
+		Timeout: g.TaskTimeout,
+		Retries: g.Retries,
+	}
+	err := par.Run(ctx, total, opts,
+		func(ctx context.Context, i int) error {
+			if ck.Done(i) {
+				return nil
+			}
 			b, pol, iq, ooo := g.cell(i)
 			cfg := pipeline.DefaultConfig()
 			pol.Apply(&cfg)
 			cfg.IQSize = iq
 			cfg.OutOfOrder = ooo
-			res, err := core.Run(core.Config{
+			res, err := core.RunContext(ctx, core.Config{
 				Workload: b.Params,
 				Pipeline: cfg,
 				Commits:  commits,
@@ -132,6 +205,9 @@ func (g *Grid) Run(progress func(done, total int)) ([]Row, error) {
 				MeritSDC:    serate.Merit(res.IPC, res.Report.SDCAVF()),
 				Squashes:    res.Squashes,
 			}
+			if err := ck.Put(i, rows[i]); err != nil {
+				return err
+			}
 			if progress != nil {
 				// Completion order is scheduling-dependent, but the done
 				// count is advanced under the lock, so callers observe a
@@ -143,8 +219,13 @@ func (g *Grid) Run(progress func(done, total int)) ([]Row, error) {
 			}
 			return nil
 		})
+	// Flush cells completed since the last autosave even when stopping
+	// early: interruption must lose nothing that already ran.
+	if serr := ck.Save(); err == nil {
+		err = serr
+	}
 	if err != nil {
-		return nil, err
+		return rows, err
 	}
 	return rows, nil
 }
@@ -157,11 +238,21 @@ var csvHeader = []string{
 
 // WriteCSV emits the rows in long format with a header.
 func WriteCSV(w io.Writer, rows []Row) error {
+	return WriteCSVSkipping(w, rows, nil)
+}
+
+// WriteCSVSkipping emits the rows in long format, omitting the flagged
+// indices — the poisoned cells of a collect-and-continue run, whose zero
+// rows would otherwise masquerade as measurements.
+func WriteCSVSkipping(w io.Writer, rows []Row, skip map[int]bool) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
-	for _, r := range rows {
+	for i, r := range rows {
+		if skip[i] {
+			continue
+		}
 		suite := "int"
 		if r.FP {
 			suite = "fp"

@@ -3,9 +3,16 @@
 #   1. tier-1: build + full test suite (the gate every change must pass)
 #   2. race tier: the packages that run simulations concurrently, under the
 #      race detector (parallel engine, suite memo, sweep grid, fault fan-out)
+#   3. chaos tier: the resilience tests — injected panics, hangs and crashes
+#      driven through the par chaos hook, checkpoint/resume byte-identity —
+#      under the race detector, since failure paths exercise the locking the
+#      happy path never touches
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/par ./internal/core ./internal/sweep ./internal/fault
+go test -race -run 'Chaos|CrashResume|Resilien|Watchdog|Retry|Collect|Partial|Checkpoint|Resume' \
+	./internal/par ./internal/checkpoint ./internal/fault ./internal/sweep \
+	./cmd/sweep ./cmd/sersim ./cmd/repro
