@@ -11,6 +11,7 @@
 package softerror
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"softerror/internal/pipeline"
 	"softerror/internal/report"
 	"softerror/internal/spec"
+	"softerror/internal/workload"
 )
 
 // benchCommits keeps full-roster sweeps tractable inside a benchmark
@@ -64,6 +66,76 @@ func BenchmarkSuitePrewarm(b *testing.B) {
 	}
 	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkPipelineHotLoop measures the cycle loop itself on the paper's
+// most squash-heavy point (mcf under squash-on-L1-miss), across the three
+// execution modes: the reference single-step interpreter with a recorded
+// trace (the pre-optimisation hot loop), event-horizon fast-forwarding with
+// a recorded trace, and fast-forwarding with residencies streamed to no
+// sink at all. All three produce identical results (pinned by
+// TestCycleSkipDifferential and the ace stream tests); only the cost
+// differs. Reports simulated Mcycles/s alongside allocs/op.
+func BenchmarkPipelineHotLoop(b *testing.B) {
+	bench, ok := spec.ByName("mcf")
+	if !ok {
+		b.Fatal("mcf missing from roster")
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.SquashTrigger = pipeline.TriggerL1Miss
+	const commits = 100_000
+	run := func(b *testing.B, singleStep, record bool) {
+		b.ReportAllocs()
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.SingleStep = singleStep
+			p := pipeline.MustNew(c, workload.MustNew(bench.Params), workload.WarmedDefault())
+			if record {
+				cycles += p.Run(commits, true).Cycles
+			} else {
+				st, err := p.RunStream(context.Background(), commits, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+		}
+		b.ReportMetric(float64(cycles)/1e6/b.Elapsed().Seconds(), "Mcycles/s")
+	}
+	b.Run("singlestep-materialized", func(b *testing.B) { run(b, true, true) })
+	b.Run("fastforward-materialized", func(b *testing.B) { run(b, false, true) })
+	b.Run("fastforward-stream", func(b *testing.B) { run(b, false, false) })
+}
+
+// BenchmarkPrewarmCellAllocs measures the allocation footprint of one
+// evaluation cell — the unit Suite.Prewarm fans out 26×3 of — on the
+// streaming path the suite now uses versus materialising the trace first.
+// -benchmem's B/op column is the headline: streaming folds residencies into
+// the AVF integrals as their intervals close instead of buffering them.
+func BenchmarkPrewarmCellAllocs(b *testing.B) {
+	bench, ok := spec.ByName("mcf")
+	if !ok {
+		b.Fatal("mcf missing from roster")
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.SquashTrigger = pipeline.TriggerL1Miss
+	for _, mode := range []struct {
+		name string
+		keep bool
+	}{{"materialized-trace", true}, {"streaming", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(core.Config{
+					Workload: bench.Params, Pipeline: cfg,
+					Commits: benchCommits, KeepTrace: mode.keep,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTable1Squashing regenerates Table 1: IPC, SDC AVF, DUE AVF and

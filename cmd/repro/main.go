@@ -53,6 +53,7 @@ func run(args []string) error {
 	jobs := fs.Int("j", 0, "simulation worker count (default GOMAXPROCS); output is identical at any -j")
 	ckPath := fs.String("checkpoint", "", "snapshot the outcomes campaign to this file; removed on success")
 	resume := fs.Bool("resume", false, "resume the outcomes campaign from an existing -checkpoint snapshot")
+	prof := cli.NewProfile(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: repro [flags] <table1|table2|outcomes|fig2|fig3|fig4|breakdown|ablation|protection|regfile|simpoints|all>\n\n")
 		fs.PrintDefaults()
@@ -67,6 +68,10 @@ func run(args []string) error {
 	if *resume && *ckPath == "" {
 		return cli.Usagef("-resume requires -checkpoint")
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	par.SetDefault(*jobs)
 	ctx, stop := cli.SignalContext()

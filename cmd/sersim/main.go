@@ -97,24 +97,25 @@ func run(args []string) error {
 		return err
 	}
 	pol.Apply(&pcfg)
-	res, err := core.RunContext(ctx, core.Config{Workload: params, Pipeline: pcfg, Commits: runCommits, RegFile: true, KeepTrace: true})
+	// Stream by default: residencies fold into the AVF integrals as they
+	// close and a fault campaign records just what injection samples. Only
+	// -savetrace still needs the full trace materialised.
+	keepTrace := *saveTrace != ""
+	ccfg := core.Config{
+		Workload: params, Pipeline: pcfg, Commits: runCommits,
+		RegFile: true, FrontEnd: true, StoreBuffer: true, KeepTrace: keepTrace,
+	}
+	var rec *fault.StreamRecorder
+	if *strikes > 0 && !keepTrace {
+		rec = fault.NewStreamRecorder(runCommits)
+		ccfg.Sink = rec
+	}
+	res, err := core.RunContext(ctx, ccfg)
 	if err != nil {
 		return err
 	}
 	rep := res.Report
-
-	// The front-end and store-buffer structures are analysed independently
-	// of the IQ report; fan them out on the worker pool.
-	var fe *ace.Report
-	var sb *ace.SBReport
-	analyses := []func(){
-		func() { fe = ace.AnalyzeFrontEnd(res.Trace, rep.Dead) },
-		func() { sb = ace.AnalyzeStoreBuffer(res.Trace, rep.Dead) },
-	}
-	if err := par.ForEach(ctx, len(analyses), 0,
-		func(_ context.Context, i int) error { analyses[i](); return nil }); err != nil {
-		return err
-	}
+	fe, sb := res.FrontEndReport, res.StoreBufferReport
 
 	fmt.Printf("workload %s under %q: %d commits in %d cycles (IPC %.3f)\n",
 		res.Name, pol, res.Commits, res.Cycles, res.IPC)
@@ -191,7 +192,7 @@ func run(args []string) error {
 	reg.Fprint(os.Stdout)
 	fmt.Println()
 
-	feT := report.New(fmt.Sprintf("front-end fetch buffer (%d instructions)", res.Trace.FrontEndCap),
+	feT := report.New(fmt.Sprintf("front-end fetch buffer (%d instructions)", fe.Entries),
 		"class", "fraction")
 	feT.AddRow("ACE (SDC AVF)", report.Pct(fe.SDCAVF()))
 	feT.AddRow("un-ACE read (false-DUE source)", report.Pct(fe.FalseDUEAVF()))
@@ -200,7 +201,7 @@ func run(args []string) error {
 	feT.Fprint(os.Stdout)
 	fmt.Println()
 
-	sbT := report.New(fmt.Sprintf("store buffer (%d entries, data+address payload)", res.Trace.StoreBufferCap),
+	sbT := report.New(fmt.Sprintf("store buffer (%d entries, data+address payload)", sb.Entries),
 		"class", "fraction")
 	sbT.AddRow("ACE (SDC AVF)", report.Pct(sb.SDCAVF()))
 	sbT.AddRow("dead data (false-DUE source)", report.Pct(sb.FalseDUEAVF()))
@@ -209,7 +210,13 @@ func run(args []string) error {
 
 	if *strikes > 0 {
 		fmt.Println()
-		if err := faultCampaign(ctx, res, *strikes, *faultSeed, *jobs, *ckPath, *resume); err != nil {
+		var inj *fault.Injector
+		if rec != nil {
+			inj = rec.Injector(res.Cycles, rep.Entries, rep.Dead)
+		} else {
+			inj = fault.NewInjector(res.Trace, rep.Dead)
+		}
+		if err := faultCampaign(ctx, res, inj, *strikes, *faultSeed, *jobs, *ckPath, *resume); err != nil {
 			return err
 		}
 	}
@@ -226,10 +233,10 @@ func run(args []string) error {
 // faultCampaign runs the Figure-1 protection ladder against the traced run:
 // every strike draws its own index-derived RNG stream, so the tallies are
 // byte-identical at any worker count and across checkpoint/resume cycles.
-func faultCampaign(ctx context.Context, res *core.Result, strikes int, seed uint64, jobs int, ckPath string, resume bool) error {
+func faultCampaign(ctx context.Context, res *core.Result, inj *fault.Injector, strikes int, seed uint64, jobs int, ckPath string, resume bool) error {
 	labels, cfgs := core.OutcomeConfigs(strikes, seed)
 	camp := &fault.Campaign{
-		Injector: fault.NewInjector(res.Trace, res.Report.Dead),
+		Injector: inj,
 		Configs:  cfgs,
 		Opts:     par.Options{Workers: jobs},
 	}

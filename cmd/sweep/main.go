@@ -49,9 +49,14 @@ func run(args []string) error {
 	onError := fs.String("onerror", "fail", "failed-cell policy: fail (cancel grid) or continue (finish other cells)")
 	taskTimeout := fs.Duration("tasktimeout", 0, "per-cell watchdog deadline (0 = none)")
 	retries := fs.Int("retries", 0, "deterministic re-attempts for failed or hung cells")
+	prof := cli.NewProfile(fs)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 	par.SetDefault(*jobs)
 
 	g := &sweep.Grid{

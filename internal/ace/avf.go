@@ -90,23 +90,6 @@ func AnalyzeStructure(residencies []pipeline.Residency, cycles uint64, entries i
 		BitsPer: isa.EntryPayloadBits,
 		Dead:    dead,
 	}
-	opcodeBits := uint64(isa.FieldBits[isa.FieldOpcode])
-	destBits := uint64(isa.FieldBits[isa.FieldDest])
-	allBits := uint64(isa.EntryPayloadBits)
-
-	// perField charges `wait` cycles of every field to ACE or un-ACE
-	// according to the struck-bit ground truth for the category.
-	perField := func(wait uint64, cat Category, hasDest bool) {
-		for f := isa.Field(0); f < isa.NumFields; f++ {
-			bc := wait * uint64(isa.FieldBits[f])
-			if BitACE(cat, f, hasDest) {
-				r.FieldACEBC[f] += bc
-			} else {
-				r.FieldUnACEBC[f] += bc
-			}
-		}
-	}
-
 	for i := range residencies {
 		res := &residencies[i]
 		occ := res.Occupancy()
@@ -114,43 +97,74 @@ func AnalyzeStructure(residencies []pipeline.Residency, cycles uint64, entries i
 			continue
 		}
 		if !res.Issued {
-			// Squashed, flushed before issue, or clipped at run end:
-			// the bits were never read, so a fault was never consumed.
-			r.NeverReadBC += occ * allBits
+			r.addNeverRead(occ)
 			continue
 		}
-		wait := res.Issue - res.Enq // exposure before the read
-		linger := res.Evict - res.Issue
-		r.ExACEBC += linger * allBits
-
 		cat := dead.Of(&res.Inst)
-		perField(wait, cat, res.Inst.Dest != isa.RegNone)
-		switch cat {
-		case CatACE:
-			r.ACEBC += wait * allBits
-			if res.Inst.Class.IsControl() {
-				r.ACEControlBC += wait * allBits
-			}
-		case CatNeutral:
-			// Opcode bits of a neutral instruction stay ACE: a strike
-			// there can turn a no-op into a real operation.
-			r.ACEBC += wait * opcodeBits
-			r.UnACEBC[cat] += wait * (allBits - opcodeBits)
-		case CatFDDReg, CatFDDRet, CatTDDReg, CatFDDMem, CatTDDMem:
-			// Destination-specifier bits of a dead instruction stay ACE:
-			// a strike there redirects the (dead) write onto a live
-			// register. Dead stores have no destination specifier.
-			aceBits := destBits
-			if res.Inst.Dest == isa.RegNone {
-				aceBits = 0
-			}
-			r.ACEBC += wait * aceBits
-			r.UnACEBC[cat] += wait * (allBits - aceBits)
-		default: // wrong-path, pred-false: nothing in the entry matters
-			r.UnACEBC[cat] += wait * allBits
+		r.addRead(res.Issue-res.Enq, res.Evict-res.Issue, cat,
+			res.Inst.Dest != isa.RegNone, res.Inst.Class.IsControl())
+	}
+	r.finalize()
+	return r
+}
+
+// addNeverRead charges one occupancy interval whose copy was removed
+// without being read (squashed, flushed before issue, or clipped at run
+// end): the bits were never consumed, so a fault there is benign.
+func (r *Report) addNeverRead(occ uint64) {
+	r.NeverReadBC += occ * uint64(isa.EntryPayloadBits)
+}
+
+// addRead charges one issued residency: wait cycles of pre-read exposure,
+// classified by category and per field, plus linger cycles of post-issue
+// Ex-ACE state. This is the single classification point — the batch
+// integrator and the streaming Collector both fold through it, so the two
+// paths cannot diverge arithmetically.
+func (r *Report) addRead(wait, linger uint64, cat Category, hasDest, isControl bool) {
+	allBits := uint64(isa.EntryPayloadBits)
+	r.ExACEBC += linger * allBits
+
+	// Charge every field's wait cycles to ACE or un-ACE according to the
+	// struck-bit ground truth for the category.
+	for f := isa.Field(0); f < isa.NumFields; f++ {
+		bc := wait * uint64(isa.FieldBits[f])
+		if BitACE(cat, f, hasDest) {
+			r.FieldACEBC[f] += bc
+		} else {
+			r.FieldUnACEBC[f] += bc
 		}
 	}
 
+	switch cat {
+	case CatACE:
+		r.ACEBC += wait * allBits
+		if isControl {
+			r.ACEControlBC += wait * allBits
+		}
+	case CatNeutral:
+		// Opcode bits of a neutral instruction stay ACE: a strike
+		// there can turn a no-op into a real operation.
+		opcodeBits := uint64(isa.FieldBits[isa.FieldOpcode])
+		r.ACEBC += wait * opcodeBits
+		r.UnACEBC[cat] += wait * (allBits - opcodeBits)
+	case CatFDDReg, CatFDDRet, CatTDDReg, CatFDDMem, CatTDDMem:
+		// Destination-specifier bits of a dead instruction stay ACE:
+		// a strike there redirects the (dead) write onto a live
+		// register. Dead stores have no destination specifier.
+		aceBits := uint64(isa.FieldBits[isa.FieldDest])
+		if !hasDest {
+			aceBits = 0
+		}
+		r.ACEBC += wait * aceBits
+		r.UnACEBC[cat] += wait * (allBits - aceBits)
+	default: // wrong-path, pred-false: nothing in the entry matters
+		r.UnACEBC[cat] += wait * allBits
+	}
+}
+
+// finalize computes the idle remainder and checks that the accounted
+// classes fit the structure's bit-cycle capacity.
+func (r *Report) finalize() {
 	total := r.TotalBC()
 	used := r.NeverReadBC + r.ExACEBC + r.ACEBC
 	for _, bc := range r.UnACEBC {
@@ -160,7 +174,6 @@ func AnalyzeStructure(residencies []pipeline.Residency, cycles uint64, entries i
 		panic(fmt.Sprintf("ace: accounted bit-cycles %d exceed capacity %d", used, total))
 	}
 	r.IdleBC = total - used
-	return r
 }
 
 // TotalBC returns the total payload-bit-cycle capacity of the queue.

@@ -1,6 +1,9 @@
 package ace
 
 import (
+	"slices"
+	"sort"
+
 	"softerror/internal/isa"
 )
 
@@ -10,9 +13,13 @@ import (
 // distance from definition to overwrite — the quantity that determines
 // whether a PET buffer of a given size can prove the instruction dead.
 type Deadness struct {
-	// catBySeq maps a dynamic sequence number to its category; sequence
-	// numbers not present (e.g. wrong-path) are not stored.
-	catBySeq map[uint64]Category
+	// seqs and cats are the per-instruction classification as parallel
+	// slices sorted by dynamic sequence number (unique per committed
+	// instruction); sequence numbers not present (e.g. wrong-path) are
+	// not stored. Two packed slices replace the former seq→category map:
+	// half the memory and a branch-free binary-search lookup.
+	seqs []uint64
+	cats []Category
 
 	// Counts tallies committed instructions per category.
 	Counts [NumCategories]uint64
@@ -56,10 +63,12 @@ type perDef struct {
 // predicated-false instructions do not make a value live: those readers
 // cannot affect the program's outcome.
 func AnalyzeDeadness(log []isa.Inst) *Deadness {
-	d := &Deadness{catBySeq: make(map[uint64]Category, len(log))}
+	d := &Deadness{}
 	if len(log) == 0 {
 		return d
 	}
+	d.seqs = make([]uint64, 0, len(log))
+	d.cats = make([]Category, 0, len(log))
 
 	defs := make([]perDef, len(log))
 	cats := make([]Category, len(log))
@@ -156,10 +165,15 @@ func AnalyzeDeadness(log []isa.Inst) *Deadness {
 		cats[i] = classifyOne(in, i, defs, cats)
 	}
 
+	sorted := true
 	for i := range log {
 		in := &log[i]
 		c := cats[i]
-		d.catBySeq[in.Seq] = c
+		if i > 0 && in.Seq < d.seqs[len(d.seqs)-1] {
+			sorted = false
+		}
+		d.seqs = append(d.seqs, in.Seq)
+		d.cats = append(d.cats, c)
 		d.Counts[c]++
 		switch c {
 		case CatFDDReg:
@@ -169,6 +183,22 @@ func AnalyzeDeadness(log []isa.Inst) *Deadness {
 		case CatFDDMem:
 			d.FDDMemDist = append(d.FDDMemDist, int(defs[i].overwrite)-i)
 		}
+	}
+	if !sorted {
+		// A program-order commit log has ascending sequence numbers, so
+		// this is a defensive path for hand-built logs only.
+		order := make([]int, len(d.seqs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return d.seqs[order[a]] < d.seqs[order[b]] })
+		seqs := make([]uint64, len(d.seqs))
+		cs := make([]Category, len(d.cats))
+		for i, j := range order {
+			seqs[i] = d.seqs[j]
+			cs[i] = d.cats[j]
+		}
+		d.seqs, d.cats = seqs, cs
 	}
 	return d
 }
@@ -236,17 +266,26 @@ func (d *Deadness) Of(in *isa.Inst) Category {
 	if in.WrongPath {
 		return CatWrongPath
 	}
-	if c, ok := d.catBySeq[in.Seq]; ok {
-		return c
+	return d.OfSeq(in.Seq)
+}
+
+// OfSeq returns the category recorded for the given committed sequence
+// number; sequence numbers not in the analysed log are conservatively
+// CatACE. Wrong-path instructions have no committed entry — callers
+// holding an Inst should use Of, which classifies them first.
+func (d *Deadness) OfSeq(seq uint64) Category {
+	if i, ok := slices.BinarySearch(d.seqs, seq); ok {
+		return d.cats[i]
 	}
 	return CatACE
 }
 
-// Compact releases the per-instruction classification map, keeping only
-// the aggregate counts and FDD distance populations. After Compact, Of
-// answers conservatively (CatACE) for committed instructions. Use it when
-// memoising many analyses whose per-instruction detail is no longer needed.
-func (d *Deadness) Compact() { d.catBySeq = nil }
+// Compact releases the per-instruction classification, keeping only the
+// aggregate counts and FDD distance populations. After Compact, Of and
+// OfSeq answer conservatively (CatACE) for committed instructions. Use it
+// when memoising many analyses whose per-instruction detail is no longer
+// needed.
+func (d *Deadness) Compact() { d.seqs, d.cats = nil, nil }
 
 // Committed returns the number of classified committed instructions.
 func (d *Deadness) Committed() uint64 {

@@ -73,17 +73,24 @@ type regValue struct {
 // committed stream. It requires a trace recorded with commit cycles and the
 // deadness analysis of the same commit log (before Compact).
 func AnalyzeRegFile(tr *pipeline.Trace, dead *Deadness) *RegFileReport {
+	return analyzeRegFileLog(tr.CommitLog, tr.CommitCycles, tr.Cycles, dead)
+}
+
+// analyzeRegFileLog is AnalyzeRegFile over a bare commit log — the entry
+// point the streaming Collector shares, since the register-file analysis
+// is inherently a program-order pass over commits, not residencies.
+func analyzeRegFileLog(log []isa.Inst, commitCycles []uint64, cycles uint64, dead *Deadness) *RegFileReport {
 	rep := &RegFileReport{
-		Cycles:  tr.Cycles,
-		TotalBC: tr.Cycles * regFileCapacityBits,
+		Cycles:  cycles,
+		TotalBC: cycles * regFileCapacityBits,
 	}
-	if len(tr.CommitLog) == 0 {
+	if len(log) == 0 {
 		rep.UntouchedBC = rep.TotalBC
 		return rep
 	}
 
 	var state [isa.NumRegs]regValue
-	end := tr.Cycles
+	end := cycles
 
 	close := func(r isa.Reg, v *regValue, until uint64) {
 		if !v.valid || until < v.defCycle {
@@ -109,9 +116,9 @@ func AnalyzeRegFile(tr *pipeline.Trace, dead *Deadness) *RegFileReport {
 		rep.ExACEBC += (until - deadEnd) * bits
 	}
 
-	for i := range tr.CommitLog {
-		in := &tr.CommitLog[i]
-		cycle := tr.CommitCycles[i]
+	for i := range log {
+		in := &log[i]
+		cycle := commitCycles[i]
 		cat := dead.Of(in)
 
 		// Reads: neutral instructions consume nothing; predicated-false

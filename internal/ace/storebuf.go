@@ -40,21 +40,32 @@ func AnalyzeStoreBuffer(tr *pipeline.Trace, dead *Deadness) *SBReport {
 		if occ == 0 {
 			continue
 		}
-		switch dead.Of(&res.Inst) {
-		case CatFDDMem, CatTDDMem:
-			r.ACEBC += occ * SBAddrBits
-			r.DeadDataBC += occ * SBDataBits
-		default:
-			r.ACEBC += occ * SBEntryBits
-		}
+		r.add(occ, dead.Of(&res.Inst))
 	}
+	r.finalize()
+	return r
+}
+
+// add charges one drained store's occupancy under its deadness category —
+// the shared classification point of the batch and streaming paths.
+func (r *SBReport) add(occ uint64, cat Category) {
+	switch cat {
+	case CatFDDMem, CatTDDMem:
+		r.ACEBC += occ * SBAddrBits
+		r.DeadDataBC += occ * SBDataBits
+	default:
+		r.ACEBC += occ * SBEntryBits
+	}
+}
+
+// finalize computes the idle remainder.
+func (r *SBReport) finalize() {
 	total := r.TotalBC()
 	used := r.ACEBC + r.DeadDataBC
 	if used > total {
 		used = total
 	}
 	r.IdleBC = total - used
-	return r
 }
 
 // TotalBC returns the buffer's bit-cycle capacity.

@@ -1,0 +1,107 @@
+package ace
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"softerror/internal/cache"
+	"softerror/internal/pipeline"
+	"softerror/internal/workload"
+)
+
+// TestCollectorMatchesBatchAnalysis pins the core guarantee of the
+// streaming path: for identical runs, the Collector's reports are *exactly*
+// equal — every bit-cycle tally, field decomposition and deadness
+// population — to materialising the trace and running the batch analyses.
+func TestCollectorMatchesBatchAnalysis(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*pipeline.Config)
+	}{
+		{"default", func(c *pipeline.Config) {}},
+		{"squash-l1", func(c *pipeline.Config) { c.SquashTrigger = pipeline.TriggerL1Miss }},
+		{"squash-l0-throttle", func(c *pipeline.Config) {
+			c.SquashTrigger = pipeline.TriggerL0Miss
+			c.ThrottleTrigger = pipeline.TriggerL1Miss
+		}},
+		{"ooo-squash-l1", func(c *pipeline.Config) {
+			c.OutOfOrder = true
+			c.SquashTrigger = pipeline.TriggerL1Miss
+		}},
+		{"tiny-queues", func(c *pipeline.Config) {
+			c.IQSize = 8
+			c.StoreBufferSize = 2
+			c.SquashTrigger = pipeline.TriggerL1Miss
+		}},
+	}
+	const commits = 30000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := pipeline.DefaultConfig()
+			tc.mut(&cfg)
+
+			// Batch: materialise the trace, analyse each structure.
+			p1 := pipeline.MustNew(cfg, workload.MustNew(workload.Default()), cache.MustNewDefault())
+			tr := p1.Run(commits, true)
+			dead := AnalyzeDeadness(tr.CommitLog)
+			wantIQ := AnalyzeWith(tr, dead)
+			wantFE := AnalyzeFrontEnd(tr, dead)
+			wantSB := AnalyzeStoreBuffer(tr, dead)
+			wantRF := AnalyzeRegFile(tr, dead)
+
+			// Stream: same config and seeds, no trace materialised.
+			p2 := pipeline.MustNew(cfg, workload.MustNew(workload.Default()), cache.MustNewDefault())
+			ccfg := StructureConfig(cfg, commits)
+			ccfg.FrontEnd, ccfg.StoreBuffer, ccfg.RegFile = true, true, true
+			coll := NewCollector(ccfg)
+			st, err := p2.RunStream(context.Background(), commits, coll)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := coll.Finish(st.Cycles)
+
+			if st.Cycles != tr.Cycles || st.Commits != tr.Commits {
+				t.Fatalf("stats diverge: cycles %d vs %d, commits %d vs %d",
+					st.Cycles, tr.Cycles, st.Commits, tr.Commits)
+			}
+			if !reflect.DeepEqual(coll.CommitLog(), tr.CommitLog) {
+				t.Fatal("streamed commit log differs from recorded trace")
+			}
+			if !reflect.DeepEqual(got.IQ, wantIQ) {
+				t.Errorf("IQ report differs:\n got %+v\nwant %+v", got.IQ, wantIQ)
+			}
+			if !reflect.DeepEqual(got.FrontEnd, wantFE) {
+				t.Errorf("front-end report differs:\n got %+v\nwant %+v", got.FrontEnd, wantFE)
+			}
+			if !reflect.DeepEqual(got.StoreBuffer, wantSB) {
+				t.Errorf("store-buffer report differs:\n got %+v\nwant %+v", got.StoreBuffer, wantSB)
+			}
+			if !reflect.DeepEqual(got.RegFile, wantRF) {
+				t.Errorf("regfile report differs:\n got %+v\nwant %+v", got.RegFile, wantRF)
+			}
+		})
+	}
+}
+
+// TestCollectorDisabledAnalysesNil pins that the opt-in reports stay nil
+// (and cost nothing) when not requested.
+func TestCollectorDisabledAnalysesNil(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	p := pipeline.MustNew(cfg, workload.MustNew(workload.Default()), cache.MustNewDefault())
+	coll := NewCollector(StructureConfig(cfg, 5000))
+	st, err := p.RunStream(context.Background(), 5000, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := coll.Finish(st.Cycles)
+	if got.FrontEnd != nil || got.StoreBuffer != nil || got.RegFile != nil {
+		t.Fatal("disabled analyses should be nil")
+	}
+	if got.IQ == nil || got.IQ.TotalBC() == 0 {
+		t.Fatal("IQ report missing")
+	}
+	if len(coll.fePending) != 0 || len(coll.sbPending) != 0 || coll.commitCycles != nil {
+		t.Fatal("disabled analyses should retain no per-event state")
+	}
+}

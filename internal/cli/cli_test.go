@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -60,4 +61,43 @@ func TestPartialErrorMessage(t *testing.T) {
 	if !errors.Is(pe, pe.Err) {
 		t.Error("PartialError does not unwrap to its cause")
 	}
+}
+
+func TestProfileWritesRequestedFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pprof"
+	mem := dir + "/mem.pprof"
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := NewProfile(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1e5; i++ {
+		_ = fmt.Sprintf("%d", i) // give the profiler something to sample
+	}
+	p.Stop()
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("empty profile %s", path)
+		}
+	}
+}
+
+func TestProfileNoopWithoutFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := NewProfile(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop() // must not create files or panic
 }

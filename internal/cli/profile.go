@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile wires the standard -cpuprofile/-memprofile knobs into a command's
+// flag set, so hot-loop regressions can be diagnosed on the real drivers
+// (not just the micro-benchmarks) with `go tool pprof`.
+type Profile struct {
+	cpu *string
+	mem *string
+	f   *os.File
+}
+
+// NewProfile registers -cpuprofile and -memprofile on fs.
+func NewProfile(fs *flag.FlagSet) *Profile {
+	p := &Profile{}
+	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	p.mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call it after flag
+// parsing, paired with a deferred Stop.
+func (p *Profile) Start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.f = f
+	return nil
+}
+
+// Stop flushes the CPU profile and, when -memprofile was given, writes a
+// post-GC heap profile. It is a no-op when profiling was never requested,
+// so commands can defer it unconditionally. Write failures go to stderr:
+// by the time a deferred Stop runs, the command's result is already decided
+// and a lost profile must not change the exit code.
+func (p *Profile) Stop() {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		if err := p.f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		}
+		p.f = nil
+	}
+	if *p.mem == "" {
+		return
+	}
+	f, err := os.Create(*p.mem)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	runtime.GC() // materialise up-to-date heap statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+	}
+}

@@ -82,12 +82,22 @@ type Config struct {
 	SkipWarm bool
 	// KeepTrace retains the full pipeline trace (residencies and commit
 	// log) on the Result, as needed for fault-injection campaigns. Off by
-	// default: traces are large.
+	// default: without it the run streams residencies straight into the
+	// AVF integrals and never materialises a trace.
 	KeepTrace bool
 	// RegFile additionally computes the architectural register files'
 	// vulnerability report (the paper's closing "other structures"
 	// extension).
 	RegFile bool
+	// FrontEnd and StoreBuffer additionally compute the fetch buffer's and
+	// store buffer's vulnerability reports (§4.2's front-end structures and
+	// the conclusion's "other structures").
+	FrontEnd    bool
+	StoreBuffer bool
+	// Sink, when non-nil, is teed into the pipeline's event stream on the
+	// streaming path (KeepTrace false) — e.g. a fault.StreamRecorder that
+	// retains just the intervals an injection campaign samples.
+	Sink pipeline.Sink
 }
 
 // DefaultCommits is the default per-run commit count.
@@ -117,6 +127,10 @@ type Result struct {
 	// RegFile is the register-file vulnerability report, present only
 	// when Config.RegFile was set.
 	RegFile *ace.RegFileReport
+	// FrontEndReport and StoreBufferReport are present only when
+	// Config.FrontEnd / Config.StoreBuffer were set.
+	FrontEndReport    *ace.Report
+	StoreBufferReport *ace.SBReport
 }
 
 // Run executes one simulation end to end: build the generator, warm the
@@ -157,28 +171,65 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := pipe.RunContext(ctx, cfg.Commits, true)
+	if cfg.KeepTrace {
+		tr, err := pipe.RunContext(ctx, cfg.Commits, true)
+		if err != nil {
+			return nil, err
+		}
+		rep := ace.Analyze(tr)
+		res := &Result{
+			Name:           cfg.Workload.Name,
+			IPC:            tr.IPC(),
+			Report:         rep,
+			Cycles:         tr.Cycles,
+			Commits:        tr.Commits,
+			Squashes:       tr.Squashes,
+			Refetches:      tr.Refetches,
+			ThrottleEvents: tr.ThrottleEvents,
+			LoadMissRateL0: tr.LoadMissRate(cache.LevelL0),
+			LoadMissRateL1: tr.LoadMissRate(cache.LevelL1),
+			Trace:          tr,
+		}
+		if cfg.RegFile {
+			res.RegFile = ace.AnalyzeRegFile(tr, rep.Dead)
+		}
+		if cfg.FrontEnd {
+			res.FrontEndReport = ace.AnalyzeFrontEnd(tr, rep.Dead)
+		}
+		if cfg.StoreBuffer {
+			res.StoreBufferReport = ace.AnalyzeStoreBuffer(tr, rep.Dead)
+		}
+		return res, nil
+	}
+	// Streaming path: residencies fold into the AVF integrals as their
+	// intervals close; no trace is ever materialised. The resulting reports
+	// are exactly equal to the batch path's (pinned by the ace stream
+	// tests), just cheaper.
+	ccfg := ace.StructureConfig(cfg.Pipeline, cfg.Commits)
+	ccfg.FrontEnd, ccfg.StoreBuffer, ccfg.RegFile = cfg.FrontEnd, cfg.StoreBuffer, cfg.RegFile
+	coll := ace.NewCollector(ccfg)
+	var sink pipeline.Sink = coll
+	if cfg.Sink != nil {
+		sink = pipeline.Tee(coll, cfg.Sink)
+	}
+	st, err := pipe.RunStream(ctx, cfg.Commits, sink)
 	if err != nil {
 		return nil, err
 	}
-	rep := ace.Analyze(tr)
-	res := &Result{
-		Name:           cfg.Workload.Name,
-		IPC:            tr.IPC(),
-		Report:         rep,
-		Cycles:         tr.Cycles,
-		Commits:        tr.Commits,
-		Squashes:       tr.Squashes,
-		Refetches:      tr.Refetches,
-		ThrottleEvents: tr.ThrottleEvents,
-		LoadMissRateL0: tr.LoadMissRate(cache.LevelL0),
-		LoadMissRateL1: tr.LoadMissRate(cache.LevelL1),
-	}
-	if cfg.KeepTrace {
-		res.Trace = tr
-	}
-	if cfg.RegFile {
-		res.RegFile = ace.AnalyzeRegFile(tr, rep.Dead)
-	}
-	return res, nil
+	reps := coll.Finish(st.Cycles)
+	return &Result{
+		Name:              cfg.Workload.Name,
+		IPC:               st.IPC(),
+		Report:            reps.IQ,
+		Cycles:            st.Cycles,
+		Commits:           st.Commits,
+		Squashes:          st.Squashes,
+		Refetches:         st.Refetches,
+		ThrottleEvents:    st.ThrottleEvents,
+		LoadMissRateL0:    st.LoadMissRate(cache.LevelL0),
+		LoadMissRateL1:    st.LoadMissRate(cache.LevelL1),
+		RegFile:           reps.RegFile,
+		FrontEndReport:    reps.FrontEnd,
+		StoreBufferReport: reps.StoreBuffer,
+	}, nil
 }

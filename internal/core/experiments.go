@@ -489,13 +489,17 @@ func OutcomesCampaign(ctx context.Context, b spec.Benchmark, commits uint64, str
 	if commits == 0 {
 		commits = DefaultCommits
 	}
-	res, err := RunContext(ctx, Config{Workload: b.Params, Commits: commits, KeepTrace: true})
+	// Stream the simulation: the ace collector integrates the AVFs while a
+	// teed recorder retains just the IQ intervals and commit log the
+	// injector samples — no full trace is materialised.
+	rec := fault.NewStreamRecorder(commits)
+	res, err := RunContext(ctx, Config{Workload: b.Params, Commits: commits, Sink: rec})
 	if err != nil {
 		return nil, err
 	}
 	labels, cfgs := OutcomeConfigs(strikes, seed)
 	camp := &fault.Campaign{
-		Injector:   fault.NewInjector(res.Trace, res.Report.Dead),
+		Injector:   rec.Injector(res.Cycles, res.Report.Entries, res.Report.Dead),
 		Configs:    cfgs,
 		Opts:       par.Options{Workers: workers},
 		Checkpoint: ck,

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -162,6 +163,90 @@ func TestRandomisedKernels(t *testing.T) {
 		if tr.Commits < 2000 {
 			t.Fatalf("trial %d: kernel stalled", trial)
 		}
+	}
+}
+
+// runTraced runs one pipeline built from (params, cfg) on a freshly warmed
+// default hierarchy and returns the recorded trace.
+func runTraced(t *testing.T, cfg Config, params workload.Params, commits uint64) *Trace {
+	t.Helper()
+	gen := workload.MustNew(params)
+	mem := cache.MustNewDefault()
+	workload.WarmCaches(mem)
+	return MustNew(cfg, gen, mem).Run(commits, true)
+}
+
+// TestCycleSkipDifferential cross-validates the event-horizon fast path
+// against the reference single-step interpreter: for random workload ×
+// machine configurations spanning in-order/out-of-order, every trigger
+// combination and tiny queues, both must produce *identical* traces —
+// every cycle count, residency interval and committed instruction.
+func TestCycleSkipDifferential(t *testing.T) {
+	s := rng.New(0x5C1F, 17)
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		params := randomParams(s)
+		cfg := randomConfig(s)
+		// Narrow queues on a third of trials: capacity-limited regimes are
+		// where a wrong horizon would first show as a shifted eviction.
+		if trial%3 == 0 {
+			cfg.IQSize = 8
+			cfg.StoreBufferSize = 2
+		}
+		ref, fast := cfg, cfg
+		ref.SingleStep = true
+		fast.SingleStep = false
+		want := runTraced(t, ref, params, 4000)
+		got := runTraced(t, fast, params, 4000)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: fast-forward trace diverges from single-step "+
+				"(cycles %d vs %d, commits %d vs %d, squashes %d vs %d, cfg=%+v)",
+				trial, want.Cycles, got.Cycles, want.Commits, got.Commits,
+				want.Squashes, got.Squashes, cfg)
+		}
+	}
+}
+
+// TestCycleSkipDifferentialWorstStaller pins the corpus entry that stalls
+// the hardest of any configuration the randomised differential has visited:
+// near-universal L0 misses with a deep miss tail, squash-on-L0 plus
+// throttle-on-L0, a shallow front end and a tiny store buffer. Most cycles
+// here are quiescent waits, so the fast path fast-forwards through the
+// bulk of the run — exactly where a horizon bug would surface.
+func TestCycleSkipDifferentialWorstStaller(t *testing.T) {
+	params := workload.Default()
+	params.LoadFrac = 0.25
+	params.StoreFrac = 0.1
+	params.MissBurstiness = 1
+	params.L0Frac = 0.1
+	params.L1Frac = 0.2
+	params.L2Frac = 0.2
+	params.MemFrac = 0.5
+	params.FetchBubbleProb = 0.4
+	params.FetchBubbleMean = 6
+	params.LoadUseDistance = 1
+
+	cfg := DefaultConfig()
+	cfg.SquashTrigger = TriggerL0Miss
+	cfg.ThrottleTrigger = TriggerL0Miss
+	cfg.IQSize = 8
+	cfg.StoreBufferSize = 2
+	cfg.FetchWidth = 1
+	cfg.IssueWidth = 1
+
+	ref, fast := cfg, cfg
+	ref.SingleStep = true
+	fast.SingleStep = false
+	want := runTraced(t, ref, params, 4000)
+	got := runTraced(t, fast, params, 4000)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("worst-staller trace diverges (cycles %d vs %d, commits %d vs %d)",
+			want.Cycles, got.Cycles, want.Commits, got.Commits)
+	}
+	// The entry earns its keep only if stalls dominate: the fast path must
+	// actually be skipping here, not single-stepping a busy machine.
+	if frac := float64(want.FetchStallCycles) / float64(want.Cycles); frac < 0.5 {
+		t.Fatalf("corpus entry no longer stall-dominated: %.2f of cycles stalled", frac)
 	}
 }
 

@@ -3,7 +3,6 @@ package pipeline
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"softerror/internal/cache"
 	"softerror/internal/isa"
@@ -21,6 +20,9 @@ type Source interface {
 // watchdogCycles bounds forward-progress stalls; exceeding it indicates a
 // simulator bug, not a workload property.
 const watchdogCycles = 500_000
+
+// neverCycle is the "no scheduled event" horizon sentinel.
+const neverCycle = ^uint64(0)
 
 type iqEntry struct {
 	inst    isa.Inst
@@ -63,12 +65,14 @@ type Pipeline struct {
 	cycle    uint64
 	regReady [isa.NumRegs]uint64
 
-	iq       []iqEntry
-	frontEnd []feEntry
-	sb       []sbEntry
-	refetch  []isa.Inst
-	feCap    int
-	issuePtr int // index of oldest unissued IQ entry (scan hint)
+	iq          []iqEntry
+	frontEnd    []feEntry
+	sb          []sbEntry
+	sbAddrs     map[uint64]int // live store-buffer addresses, refcounted
+	refetch     []isa.Inst
+	refetchHead int // index of the next refetch victim (popped O(1))
+	feCap       int
+	issuePtr    int // index of oldest unissued IQ entry (scan hint)
 
 	// pendingInst parks an instruction whose front-end delivery gap
 	// (Inst.FetchBubble) is being charged; it is fetched once the gap
@@ -83,7 +87,8 @@ type Pipeline struct {
 	throttleQ   []throttleEvent
 	stallUntil  uint64
 
-	trace Trace
+	stats Stats
+	sink  Sink
 }
 
 // New builds a pipeline over the given instruction source and data-cache
@@ -100,11 +105,18 @@ func New(cfg Config, src Source, mem *cache.Hierarchy) (*Pipeline, error) {
 		cfg:   cfg,
 		src:   src,
 		mem:   mem,
-		feCap: cfg.FetchWidth * (cfg.FrontEndDepth + 2),
+		feCap: cfg.FrontEndCap(),
 	}
-	p.trace.IQSize = cfg.IQSize
-	p.trace.FrontEndCap = p.feCap
-	p.trace.StoreBufferCap = cfg.StoreBufferSize
+	// Pre-size every queue to its structural bound (the refetch queue to a
+	// worst-case squash's victim count) so the steady state never grows a
+	// slice.
+	p.iq = make([]iqEntry, 0, cfg.IQSize)
+	p.frontEnd = make([]feEntry, 0, p.feCap)
+	p.sb = make([]sbEntry, 0, cfg.StoreBufferSize)
+	p.sbAddrs = make(map[uint64]int, cfg.StoreBufferSize)
+	p.refetch = make([]isa.Inst, 0, cfg.IQSize+p.feCap)
+	p.squashQ = make([]squashEvent, 0, 8)
+	p.throttleQ = make([]throttleEvent, 0, 8)
 	return p, nil
 }
 
@@ -127,83 +139,205 @@ func (p *Pipeline) Run(commits uint64, record bool) *Trace {
 }
 
 // RunContext is Run with cooperative cancellation: the cycle loop checks
-// ctx every few thousand cycles, so a SIGINT or a per-task watchdog aborts
-// within one simulation rather than waiting for it to finish. A cancelled
-// run returns a nil trace and ctx's error; the pipeline must not be reused
-// afterwards.
+// ctx every so often, so a SIGINT or a per-task watchdog aborts within one
+// simulation rather than waiting for it to finish. A cancelled run returns
+// a nil trace and ctx's error; the pipeline must not be reused afterwards.
 func (p *Pipeline) RunContext(ctx context.Context, commits uint64, record bool) (*Trace, error) {
+	if !record {
+		st, err := p.RunStream(ctx, commits, nil)
+		if err != nil {
+			return nil, err
+		}
+		return NewTraceRecorder(p.cfg, 0).Trace(st), nil
+	}
+	rec := NewTraceRecorder(p.cfg, commits)
+	st, err := p.RunStream(ctx, commits, rec)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Trace(st), nil
+}
+
+// RunStream simulates until the given number of correct-path instructions
+// have committed, delivering every residency and commit to sink as it
+// closes instead of materialising a Trace (sink may be nil for warm-up).
+// In-flight entries are flushed to the sink, clipped at the final cycle, so
+// occupancy integrals stay consistent. This is the zero-materialisation hot
+// path: with a streaming sink no per-instruction slice is ever built.
+func (p *Pipeline) RunStream(ctx context.Context, commits uint64, sink Sink) (Stats, error) {
+	p.sink = sink
 	lastCommitCycle := uint64(0)
 	lastCommits := uint64(0)
-	for p.trace.Commits < commits {
-		if p.cycle&4095 == 0 && ctx.Err() != nil {
-			return nil, ctx.Err()
+	for iter := uint64(0); p.stats.Commits < commits; iter++ {
+		if iter&1023 == 0 && ctx.Err() != nil {
+			return Stats{}, ctx.Err()
 		}
-		p.step(record)
-		if p.trace.Commits != lastCommits {
-			lastCommits = p.trace.Commits
+		p.step()
+		if p.stats.Commits != lastCommits {
+			lastCommits = p.stats.Commits
 			lastCommitCycle = p.cycle
 		} else if p.cycle-lastCommitCycle > watchdogCycles {
 			panic(fmt.Sprintf(
 				"pipeline: no commit for %d cycles at cycle %d (iq=%d fe=%d refetch=%d wrong=%v stall=%d)",
-				watchdogCycles, p.cycle, len(p.iq), len(p.frontEnd), len(p.refetch), p.wrongMode, p.stallUntil))
+				watchdogCycles, p.cycle, len(p.iq), len(p.frontEnd), p.refetchLen(), p.wrongMode, p.stallUntil))
+		}
+		if !p.cfg.SingleStep && p.stats.Commits < commits {
+			p.fastForward()
 		}
 	}
 	// Close residencies for entries still in flight, clipped at the final
 	// cycle so occupancy integrals stay consistent.
-	if record {
+	if sink != nil {
 		for i := range p.iq {
-			e := &p.iq[i]
-			p.recordResidency(e, p.cycle, false)
+			p.recordResidency(&p.iq[i], p.cycle, false)
 		}
 		for i := range p.frontEnd {
 			p.recordFrontEnd(&p.frontEnd[i], p.cycle, false)
 		}
 		for i := range p.sb {
 			e := &p.sb[i]
-			p.trace.StoreBuffer = append(p.trace.StoreBuffer, Residency{
+			sink.OnStoreBuffer(Residency{
 				Inst: e.inst, Enq: e.enq, Evict: p.cycle,
 				Issued: true, Issue: p.cycle,
 			})
 		}
 	}
-	p.trace.Cycles = p.cycle
-	// Out-of-order issue appends commits in dataflow order; the analyses
-	// require program order, which the unique sequence numbers restore.
-	if p.cfg.OutOfOrder && record {
-		log, cycles := p.trace.CommitLog, p.trace.CommitCycles
-		order := make([]int, len(log))
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool { return log[order[a]].Seq < log[order[b]].Seq })
-		sortedLog := make([]isa.Inst, len(log))
-		sortedCycles := make([]uint64, len(cycles))
-		for i, j := range order {
-			sortedLog[i] = log[j]
-			sortedCycles[i] = cycles[j]
-		}
-		p.trace.CommitLog, p.trace.CommitCycles = sortedLog, sortedCycles
-	}
-	return &p.trace, nil
+	p.stats.Cycles = p.cycle
+	return p.stats, nil
 }
 
 // step advances one cycle.
-func (p *Pipeline) step(record bool) {
+func (p *Pipeline) step() {
 	now := p.cycle
-	p.drainStores(now, record)
-	p.resolveBranch(now, record)
-	p.applySquashes(now, record)
+	p.drainStores(now)
+	p.resolveBranch(now)
+	p.applySquashes(now)
 	p.applyThrottles(now)
-	p.evict(now, record)
-	p.issue(now, record)
-	p.deliver(now, record)
+	p.evict(now)
+	p.issue(now)
+	p.deliver(now)
 	p.fetch(now)
 	p.cycle++
 }
 
-// recordResidency appends a residency record for e ending at evict.
+// fastForward jumps the clock to the next cycle at which anything can
+// happen, charging the skipped fetch-stall cycles in bulk. Skipped cycles
+// are provably no-ops — every state change the step phases can make is
+// scheduled at a known cycle (nextEventCycle), so executing the next step
+// at the horizon produces exactly the state single-stepping would.
+func (p *Pipeline) fastForward() {
+	now := p.cycle
+	horizon := p.nextEventCycle(now)
+	if horizon <= now {
+		return
+	}
+	if p.stallUntil > now {
+		// Each skipped cycle below stallUntil would have charged one
+		// fetch-stall cycle.
+		stallEnd := p.stallUntil
+		if horizon < stallEnd {
+			stallEnd = horizon
+		}
+		p.stats.FetchStallCycles += stallEnd - now
+	}
+	p.cycle = horizon
+}
+
+// nextEventCycle returns the earliest cycle ≥ now at which any step phase
+// can act: the min over the fetch stall's end, the head store's drain, the
+// branch redirect, queued squash/throttle detections, the head entry's
+// eviction, front-end delivery, and the earliest issue among unissued IQ
+// entries. A result of now means the coming cycle is not quiescent (or an
+// event horizon cannot be bounded conservatively) and must be stepped.
+func (p *Pipeline) nextEventCycle(now uint64) uint64 {
+	// Fetch proceeds this cycle: nothing to skip. (This is the common case
+	// off the stall path and keeps the scan off the IPC-bound hot loop.)
+	if now >= p.stallUntil && len(p.frontEnd) < p.feCap {
+		return now
+	}
+	horizon := neverCycle
+	if now < p.stallUntil {
+		horizon = p.stallUntil
+	}
+	if len(p.sb) > 0 && p.sb[0].drainAt < horizon {
+		horizon = p.sb[0].drainAt
+	}
+	if p.resolveAt != 0 && p.resolveAt < horizon {
+		horizon = p.resolveAt
+	}
+	for i := range p.squashQ {
+		if at := p.squashQ[i].at; at < horizon {
+			horizon = at
+		}
+	}
+	for i := range p.throttleQ {
+		if at := p.throttleQ[i].at; at < horizon {
+			horizon = at
+		}
+	}
+	if len(p.iq) > 0 && p.iq[0].issued && p.iq[0].evictAt < horizon {
+		horizon = p.iq[0].evictAt
+	}
+	if len(p.frontEnd) > 0 && len(p.iq) < p.cfg.IQSize && p.frontEnd[0].readyAt < horizon {
+		horizon = p.frontEnd[0].readyAt
+	}
+	// Earliest issue among unissued entries. In-order issue stalls on the
+	// first unissued instruction, so only its readiness matters; out of
+	// order, any entry may issue next.
+	for i := p.issuePtr; i < len(p.iq); i++ {
+		if horizon <= now {
+			return now
+		}
+		e := &p.iq[i]
+		if e.issued {
+			continue
+		}
+		if rc := p.readyCycle(&e.inst); rc < horizon {
+			horizon = rc
+		}
+		if !p.cfg.OutOfOrder {
+			break
+		}
+	}
+	if horizon < now || horizon == neverCycle {
+		return now
+	}
+	return horizon
+}
+
+// readyCycle returns the first cycle at which the instruction's operands
+// are available — ready(in, c) holds exactly when readyCycle(in) ≤ c. A
+// store blocked on a full store buffer returns neverCycle: it unblocks on
+// a drain, which contributes its own horizon candidate.
+func (p *Pipeline) readyCycle(in *isa.Inst) uint64 {
+	if in.WrongPath {
+		return 0
+	}
+	t := uint64(0)
+	if in.PredGuard != isa.RegNone {
+		t = p.regReady[in.PredGuard]
+	}
+	if in.PredFalse {
+		return t // guard known false: operand values are irrelevant
+	}
+	if in.Class == isa.ClassStore && len(p.sb) >= p.cfg.StoreBufferSize {
+		return neverCycle
+	}
+	if in.Src1 != isa.RegNone && p.regReady[in.Src1] > t {
+		t = p.regReady[in.Src1]
+	}
+	if in.Src2 != isa.RegNone && p.regReady[in.Src2] > t {
+		t = p.regReady[in.Src2]
+	}
+	return t
+}
+
+// recordResidency reports a residency for e ending at evict.
 func (p *Pipeline) recordResidency(e *iqEntry, evict uint64, squashed bool) {
-	p.trace.Residencies = append(p.trace.Residencies, Residency{
+	if p.sink == nil {
+		return
+	}
+	p.sink.OnResidency(Residency{
 		Inst:     e.inst,
 		Enq:      e.enq,
 		Evict:    evict,
@@ -215,7 +349,7 @@ func (p *Pipeline) recordResidency(e *iqEntry, evict uint64, squashed bool) {
 
 // resolveBranch redirects fetch when the outstanding mispredicted branch
 // reaches its resolution cycle, flushing wrong-path state everywhere.
-func (p *Pipeline) resolveBranch(now uint64, record bool) {
+func (p *Pipeline) resolveBranch(now uint64) {
 	if p.resolveAt == 0 || now < p.resolveAt {
 		return
 	}
@@ -226,10 +360,8 @@ func (p *Pipeline) resolveBranch(now uint64, record bool) {
 	for i := range p.iq {
 		e := &p.iq[i]
 		if e.inst.WrongPath {
-			p.trace.WrongFlushes++
-			if record {
-				p.recordResidency(e, now, !e.issued)
-			}
+			p.stats.WrongFlushes++
+			p.recordResidency(e, now, !e.issued)
 			continue
 		}
 		kept = append(kept, *e)
@@ -241,10 +373,8 @@ func (p *Pipeline) resolveBranch(now uint64, record bool) {
 	for i := range p.frontEnd {
 		fe := &p.frontEnd[i]
 		if fe.inst.WrongPath {
-			p.trace.WrongFlushes++
-			if record {
-				p.recordFrontEnd(fe, now, false)
-			}
+			p.stats.WrongFlushes++
+			p.recordFrontEnd(fe, now, false)
 			continue
 		}
 		keptFE = append(keptFE, *fe)
@@ -253,14 +383,14 @@ func (p *Pipeline) resolveBranch(now uint64, record bool) {
 }
 
 // applySquashes fires pending squash events whose detection cycle arrived.
-func (p *Pipeline) applySquashes(now uint64, record bool) {
+func (p *Pipeline) applySquashes(now uint64) {
 	rest := p.squashQ[:0]
 	for _, ev := range p.squashQ {
 		if ev.at > now {
 			rest = append(rest, ev)
 			continue
 		}
-		p.doSquash(now, ev, record)
+		p.doSquash(now, ev)
 	}
 	p.squashQ = rest
 }
@@ -268,8 +398,8 @@ func (p *Pipeline) applySquashes(now uint64, record bool) {
 // doSquash removes every unissued IQ entry younger than the triggering
 // load, flushes the front end the same way, queues correct-path victims for
 // refetch, and stalls fetch until the miss returns.
-func (p *Pipeline) doSquash(now uint64, ev squashEvent, record bool) {
-	p.trace.Squashes++
+func (p *Pipeline) doSquash(now uint64, ev squashEvent) {
+	p.stats.Squashes++
 	kept := p.iq[:0]
 	for i := range p.iq {
 		e := &p.iq[i]
@@ -277,10 +407,8 @@ func (p *Pipeline) doSquash(now uint64, ev squashEvent, record bool) {
 			kept = append(kept, *e)
 			continue
 		}
-		p.trace.SquashedEntries++
-		if record {
-			p.recordResidency(e, now, true)
-		}
+		p.stats.SquashedEntries++
+		p.recordResidency(e, now, true)
 		p.squashVictim(e.inst)
 	}
 	p.iq = kept
@@ -293,18 +421,26 @@ func (p *Pipeline) doSquash(now uint64, ev squashEvent, record bool) {
 			keptFE = append(keptFE, *fe)
 			continue
 		}
-		p.trace.SquashedEntries++
-		if record {
-			p.recordFrontEnd(fe, now, false)
-		}
+		p.stats.SquashedEntries++
+		p.recordFrontEnd(fe, now, false)
 		p.squashVictim(fe.inst)
 	}
 	p.frontEnd = keptFE
 
+	if p.refetchHead > 0 {
+		m := copy(p.refetch, p.refetch[p.refetchHead:])
+		p.refetch = p.refetch[:m]
+		p.refetchHead = 0
+	}
 	sortRefetch(p.refetch)
 	// Restart fetch early enough that the front-end refill overlaps the
-	// remaining miss shadow.
-	restart := ev.missReturn - uint64(p.cfg.RefetchOverlap)
+	// remaining miss shadow. The subtraction saturates at 0: a miss that
+	// returns within the overlap window (tiny warm-up cycle counts, large
+	// overlap sweeps) must not wrap to a near-infinite stall.
+	restart := uint64(0)
+	if mr := ev.missReturn; mr > uint64(p.cfg.RefetchOverlap) {
+		restart = mr - uint64(p.cfg.RefetchOverlap)
+	}
 	if restart < now {
 		restart = now
 	}
@@ -322,10 +458,15 @@ func (p *Pipeline) squashVictim(in isa.Inst) {
 		return
 	}
 	p.refetch = append(p.refetch, in)
-	p.trace.Refetches++
+	p.stats.Refetches++
 	if p.wrongMode && in.Seq == p.wrongSrcSeq {
 		p.wrongMode = false
 	}
+}
+
+// refetchLen is the number of squash victims still awaiting refetch.
+func (p *Pipeline) refetchLen() int {
+	return len(p.refetch) - p.refetchHead
 }
 
 // sortRefetch restores fetch order (by Seq) after a squash interleaves
@@ -347,7 +488,7 @@ func (p *Pipeline) applyThrottles(now uint64) {
 			rest = append(rest, ev)
 			continue
 		}
-		p.trace.ThrottleEvents++
+		p.stats.ThrottleEvents++
 		if ev.missReturn > p.stallUntil {
 			p.stallUntil = ev.missReturn
 		}
@@ -357,20 +498,19 @@ func (p *Pipeline) applyThrottles(now uint64) {
 
 // evict retires issued entries from the queue head once their replay window
 // closes.
-func (p *Pipeline) evict(now uint64, record bool) {
+func (p *Pipeline) evict(now uint64) {
 	n := 0
 	for n < len(p.iq) {
 		e := &p.iq[n]
 		if !e.issued || now < e.evictAt {
 			break
 		}
-		if record {
-			p.recordResidency(e, now, false)
-		}
+		p.recordResidency(e, now, false)
 		n++
 	}
 	if n > 0 {
-		p.iq = p.iq[n:]
+		m := copy(p.iq, p.iq[n:])
+		p.iq = p.iq[:m]
 		p.issuePtr -= n
 		if p.issuePtr < 0 {
 			p.issuePtr = 0
@@ -382,7 +522,7 @@ func (p *Pipeline) evict(now uint64, record bool) {
 // cycle. In-order mode stops at the first unissued instruction with an
 // unready operand (stall-on-use); out-of-order mode skips stalled entries
 // and issues any ready instruction, oldest first.
-func (p *Pipeline) issue(now uint64, record bool) {
+func (p *Pipeline) issue(now uint64) {
 	issued := 0
 	for i := p.issuePtr; i < len(p.iq) && issued < p.cfg.IssueWidth; i++ {
 		e := &p.iq[i]
@@ -395,7 +535,7 @@ func (p *Pipeline) issue(now uint64, record bool) {
 			}
 			return // in-order: nothing younger may issue
 		}
-		p.execute(e, now, record)
+		p.execute(e, now)
 		issued++
 		if i == p.issuePtr {
 			p.issuePtr = i + 1
@@ -429,7 +569,7 @@ func (p *Pipeline) ready(in *isa.Inst, now uint64) bool {
 
 // execute issues one entry: reads it (the parity-check point), performs its
 // side effects, and schedules its eviction.
-func (p *Pipeline) execute(e *iqEntry, now uint64, record bool) {
+func (p *Pipeline) execute(e *iqEntry, now uint64) {
 	e.issued = true
 	e.issue = now
 	e.evictAt = now + uint64(p.cfg.ReplayWindow)
@@ -439,10 +579,9 @@ func (p *Pipeline) execute(e *iqEntry, now uint64, record bool) {
 		return // consumed an issue slot; no architectural effects
 	}
 
-	p.trace.Commits++
-	if record {
-		p.trace.CommitLog = append(p.trace.CommitLog, *in)
-		p.trace.CommitCycles = append(p.trace.CommitCycles, now)
+	p.stats.Commits++
+	if p.sink != nil {
+		p.sink.OnCommit(*in, e.enq, now)
 	}
 
 	if in.PredFalse {
@@ -455,15 +594,15 @@ func (p *Pipeline) execute(e *iqEntry, now uint64, record bool) {
 	case isa.ClassFPU:
 		p.writeDest(in, now+uint64(p.cfg.FPLatency))
 	case isa.ClassLoad:
-		if p.sbHolds(in.Addr) {
+		if p.sbAddrs[in.Addr] > 0 {
 			// Store-to-load forwarding: serviced from the store buffer,
 			// no cache access, no miss trigger.
-			p.trace.ForwardedLoads++
+			p.stats.ForwardedLoads++
 			p.writeDest(in, now+1)
 			break
 		}
 		res := p.mem.Access(in.Addr, false)
-		p.trace.LoadsByLevel[res.Level]++
+		p.stats.LoadsByLevel[res.Level]++
 		p.writeDest(in, now+uint64(res.Latency))
 		p.maybeTrigger(in, res, now)
 	case isa.ClassStore:
@@ -472,6 +611,7 @@ func (p *Pipeline) execute(e *iqEntry, now uint64, record bool) {
 			enq:     now,
 			drainAt: now + uint64(p.cfg.StoreDrainLatency),
 		})
+		p.sbAddrs[in.Addr]++
 	case isa.ClassIO:
 		p.mem.Access(in.Addr, true)
 	case isa.ClassPrefetch:
@@ -512,9 +652,9 @@ func (p *Pipeline) maybeTrigger(in *isa.Inst, res cache.AccessResult, now uint64
 }
 
 // drainStores retires at most one store per cycle from the buffer head to
-// the cache, recording its residency (the drain is the read point: the
+// the cache, reporting its residency (the drain is the read point: the
 // value is committed to memory).
-func (p *Pipeline) drainStores(now uint64, record bool) {
+func (p *Pipeline) drainStores(now uint64) {
 	if len(p.sb) == 0 {
 		return
 	}
@@ -523,8 +663,8 @@ func (p *Pipeline) drainStores(now uint64, record bool) {
 		return
 	}
 	p.mem.Access(e.inst.Addr, true)
-	if record {
-		p.trace.StoreBuffer = append(p.trace.StoreBuffer, Residency{
+	if p.sink != nil {
+		p.sink.OnStoreBuffer(Residency{
 			Inst:   e.inst,
 			Enq:    e.enq,
 			Evict:  now,
@@ -532,22 +672,18 @@ func (p *Pipeline) drainStores(now uint64, record bool) {
 			Issue:  now,
 		})
 	}
-	p.sb = p.sb[1:]
-}
-
-// sbHolds reports whether the store buffer holds a pending store to addr.
-func (p *Pipeline) sbHolds(addr uint64) bool {
-	for i := len(p.sb) - 1; i >= 0; i-- {
-		if p.sb[i].inst.Addr == addr {
-			return true
-		}
+	if n := p.sbAddrs[e.inst.Addr]; n <= 1 {
+		delete(p.sbAddrs, e.inst.Addr)
+	} else {
+		p.sbAddrs[e.inst.Addr] = n - 1
 	}
-	return false
+	m := copy(p.sb, p.sb[1:])
+	p.sb = p.sb[:m]
 }
 
 // deliver moves instructions that have traversed the front end into the IQ,
 // in order, while space remains.
-func (p *Pipeline) deliver(now uint64, record bool) {
+func (p *Pipeline) deliver(now uint64) {
 	n := 0
 	for n < len(p.frontEnd) {
 		fe := &p.frontEnd[n]
@@ -555,21 +691,23 @@ func (p *Pipeline) deliver(now uint64, record bool) {
 			break
 		}
 		p.iq = append(p.iq, iqEntry{inst: fe.inst, enq: now})
-		if record {
-			p.recordFrontEnd(fe, now, true)
-		}
+		p.recordFrontEnd(fe, now, true)
 		n++
 	}
 	if n > 0 {
-		p.frontEnd = p.frontEnd[n:]
+		m := copy(p.frontEnd, p.frontEnd[n:])
+		p.frontEnd = p.frontEnd[:m]
 	}
 }
 
-// recordFrontEnd logs one fetch-buffer occupancy interval: delivered
+// recordFrontEnd reports one fetch-buffer occupancy interval: delivered
 // entries are read into decode (the front end's parity-check point);
 // flushed ones never are.
 func (p *Pipeline) recordFrontEnd(fe *feEntry, until uint64, delivered bool) {
-	p.trace.FrontEnd = append(p.trace.FrontEnd, Residency{
+	if p.sink == nil {
+		return
+	}
+	p.sink.OnFrontEnd(Residency{
 		Inst:     fe.inst,
 		Enq:      fe.fetched,
 		Evict:    until,
@@ -585,7 +723,7 @@ func (p *Pipeline) recordFrontEnd(fe *feEntry, until uint64, delivered bool) {
 // mispredict is outstanding), then the correct-path stream.
 func (p *Pipeline) fetch(now uint64) {
 	if now < p.stallUntil {
-		p.trace.FetchStallCycles++
+		p.stats.FetchStallCycles++
 		return
 	}
 	if len(p.frontEnd) >= p.feCap {
@@ -595,11 +733,15 @@ func (p *Pipeline) fetch(now uint64) {
 	for i := 0; i < p.cfg.FetchWidth && len(p.frontEnd) < p.feCap; i++ {
 		var in isa.Inst
 		switch {
-		case len(p.refetch) > 0 && !p.wrongMode:
+		case p.refetchHead < len(p.refetch) && !p.wrongMode:
 			// Refetched instructions are older than any parked pending
 			// instruction and hit a warm I-cache (no delivery gap).
-			in = p.refetch[0]
-			p.refetch = p.refetch[1:]
+			in = p.refetch[p.refetchHead]
+			p.refetchHead++
+			if p.refetchHead == len(p.refetch) {
+				p.refetch = p.refetch[:0]
+				p.refetchHead = 0
+			}
 		case p.havePending:
 			in = p.pendingInst
 			p.havePending = false
@@ -620,8 +762,8 @@ func (p *Pipeline) fetch(now uint64) {
 			p.havePending = true
 			return
 		}
-		if in.Seq > p.trace.MaxSeq {
-			p.trace.MaxSeq = in.Seq
+		if in.Seq > p.stats.MaxSeq {
+			p.stats.MaxSeq = in.Seq
 		}
 		p.frontEnd = append(p.frontEnd, feEntry{inst: in, fetched: now, readyAt: readyAt})
 		// A freshly fetched mispredicted control instruction flips fetch

@@ -243,6 +243,27 @@ func TestSquashOnMissRefetches(t *testing.T) {
 	}
 }
 
+func TestSquashRestartUnderflowClamped(t *testing.T) {
+	// A squash whose miss returns within the refetch-overlap window used to
+	// compute restart = missReturn - RefetchOverlap on uint64, wrapping to
+	// ~2^64 and stalling fetch for the rest of the run. The subtraction must
+	// saturate at zero (then clamp up to now).
+	cfg := DefaultConfig()
+	cfg.SquashTrigger = TriggerL1Miss
+	cfg.RefetchOverlap = 8
+	p := MustNew(cfg, &scriptSource{}, newMem(t))
+	p.doSquash(3, squashEvent{at: 3, loadSeq: 0, missReturn: 5})
+	if p.stallUntil != 3 {
+		t.Fatalf("stallUntil = %d, want 3 (restart clamped, not wrapped)", p.stallUntil)
+	}
+	// The pipeline must still make progress afterwards: with the wrapped
+	// stall this run would never fetch again.
+	tr := p.Run(100, false)
+	if tr.Commits < 100 {
+		t.Fatalf("pipeline stalled after early-returning squash: %d commits", tr.Commits)
+	}
+}
+
 func TestNoSquashWithoutTrigger(t *testing.T) {
 	load := blankInst(isa.ClassLoad)
 	load.Dest = isa.IntReg(5)

@@ -1,0 +1,195 @@
+package pipeline
+
+import (
+	"sort"
+
+	"softerror/internal/isa"
+)
+
+// Sink receives the pipeline's observable events as they happen, instead of
+// having them materialised into Trace slices. The pipeline calls a method
+// exactly when the corresponding Trace record would have been appended, in
+// the same order, with the same contents — so a sink sees precisely the
+// stream a recorded Trace would hold, one interval at a time.
+//
+// Consumers that only fold the stream into counters (the ACE/AVF integrals)
+// implement Sink directly and skip the O(commits) slices entirely;
+// TraceRecorder is the Sink that reconstructs today's Trace for callers that
+// still want materialised intervals (fault injection, tracefile, traceview).
+type Sink interface {
+	// OnResidency reports one closed instruction-queue occupancy interval
+	// (eviction, squash, wrong-path flush, or end-of-run clip).
+	OnResidency(r Residency)
+	// OnFrontEnd reports one closed fetch-buffer occupancy interval.
+	// Issued marks delivery to decode (the front end's read point);
+	// Squashed marks removal without delivery.
+	OnFrontEnd(r Residency)
+	// OnStoreBuffer reports one closed store-buffer occupancy interval
+	// (drain to cache, or end-of-run clip).
+	OnStoreBuffer(r Residency)
+	// OnCommit reports one committed (issued correct-path) instruction,
+	// with the cycle its IQ copy enqueued and the cycle it issued. The
+	// pre-issue wait issue-enq is the committed copy's read exposure; the
+	// same copy's OnResidency arrives later, when the entry evicts.
+	OnCommit(in isa.Inst, enq, issue uint64)
+}
+
+// Stats holds the scalar counters of one run — everything a Trace records
+// besides its interval slices. RunStream returns it so streaming consumers
+// get IPC, miss rates and event counts without a Trace.
+type Stats struct {
+	Cycles  uint64
+	Commits uint64
+	MaxSeq  uint64
+
+	Squashes        uint64
+	SquashedEntries uint64
+	Refetches       uint64
+	ThrottleEvents  uint64
+	WrongFlushes    uint64
+	ForwardedLoads  uint64
+
+	LoadsByLevel [4]uint64
+
+	FetchStallCycles uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Commits) / float64(s.Cycles)
+}
+
+// LoadMissRate returns the fraction of loads serviced beyond the given
+// cache level.
+func (s *Stats) LoadMissRate(level int) float64 {
+	var total, beyond uint64
+	for l, n := range s.LoadsByLevel {
+		total += n
+		if l > level {
+			beyond += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(beyond) / float64(total)
+}
+
+// TraceRecorder is the Sink that materialises the event stream back into a
+// Trace, byte-identical to what the pipeline historically recorded.
+type TraceRecorder struct {
+	outOfOrder bool
+	tr         Trace
+}
+
+// NewTraceRecorder builds a recorder for a run under cfg. commits pre-sizes
+// the commit log (pass 0 when unknown).
+func NewTraceRecorder(cfg Config, commits uint64) *TraceRecorder {
+	rec := &TraceRecorder{outOfOrder: cfg.OutOfOrder}
+	rec.tr.IQSize = cfg.IQSize
+	rec.tr.FrontEndCap = cfg.FrontEndCap()
+	rec.tr.StoreBufferCap = cfg.StoreBufferSize
+	if commits > 0 {
+		rec.tr.CommitLog = make([]isa.Inst, 0, commits)
+		rec.tr.CommitCycles = make([]uint64, 0, commits)
+	}
+	return rec
+}
+
+// OnResidency implements Sink.
+func (rec *TraceRecorder) OnResidency(r Residency) {
+	rec.tr.Residencies = append(rec.tr.Residencies, r)
+}
+
+// OnFrontEnd implements Sink.
+func (rec *TraceRecorder) OnFrontEnd(r Residency) {
+	rec.tr.FrontEnd = append(rec.tr.FrontEnd, r)
+}
+
+// OnStoreBuffer implements Sink.
+func (rec *TraceRecorder) OnStoreBuffer(r Residency) {
+	rec.tr.StoreBuffer = append(rec.tr.StoreBuffer, r)
+}
+
+// OnCommit implements Sink.
+func (rec *TraceRecorder) OnCommit(in isa.Inst, _, issue uint64) {
+	rec.tr.CommitLog = append(rec.tr.CommitLog, in)
+	rec.tr.CommitCycles = append(rec.tr.CommitCycles, issue)
+}
+
+// Trace finalises and returns the materialised trace: counters copied from
+// the run's Stats, and — under out-of-order issue, which appends commits in
+// dataflow order — the commit log restored to program order, which the
+// unique sequence numbers make exact.
+func (rec *TraceRecorder) Trace(st Stats) *Trace {
+	tr := &rec.tr
+	tr.Cycles = st.Cycles
+	tr.Commits = st.Commits
+	tr.MaxSeq = st.MaxSeq
+	tr.Squashes = st.Squashes
+	tr.SquashedEntries = st.SquashedEntries
+	tr.Refetches = st.Refetches
+	tr.ThrottleEvents = st.ThrottleEvents
+	tr.WrongFlushes = st.WrongFlushes
+	tr.ForwardedLoads = st.ForwardedLoads
+	tr.LoadsByLevel = st.LoadsByLevel
+	tr.FetchStallCycles = st.FetchStallCycles
+	if rec.outOfOrder {
+		log, cycles := tr.CommitLog, tr.CommitCycles
+		order := make([]int, len(log))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return log[order[a]].Seq < log[order[b]].Seq })
+		sortedLog := make([]isa.Inst, len(log))
+		sortedCycles := make([]uint64, len(cycles))
+		for i, j := range order {
+			sortedLog[i] = log[j]
+			sortedCycles[i] = cycles[j]
+		}
+		tr.CommitLog, tr.CommitCycles = sortedLog, sortedCycles
+	}
+	return tr
+}
+
+// Tee fans the event stream out to several sinks, in argument order. Nil
+// sinks are skipped; a campaign driver uses it to feed an ace.Collector and
+// a fault residency recorder from one run.
+func Tee(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	return teeSink(kept)
+}
+
+type teeSink []Sink
+
+func (t teeSink) OnResidency(r Residency) {
+	for _, s := range t {
+		s.OnResidency(r)
+	}
+}
+
+func (t teeSink) OnFrontEnd(r Residency) {
+	for _, s := range t {
+		s.OnFrontEnd(r)
+	}
+}
+
+func (t teeSink) OnStoreBuffer(r Residency) {
+	for _, s := range t {
+		s.OnStoreBuffer(r)
+	}
+}
+
+func (t teeSink) OnCommit(in isa.Inst, enq, issue uint64) {
+	for _, s := range t {
+		s.OnCommit(in, enq, issue)
+	}
+}

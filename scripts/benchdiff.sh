@@ -1,0 +1,52 @@
+#!/bin/sh
+# benchdiff.sh OLD NEW — diff two `go test -bench` outputs metric by metric.
+#
+# Capture each side with e.g.
+#
+#	go test -run NONE -bench PipelineHotLoop -benchmem -benchtime 5x . > bench_old.txt
+#	... apply the change ...
+#	go test -run NONE -bench PipelineHotLoop -benchmem -benchtime 5x . > bench_new.txt
+#	scripts/benchdiff.sh bench_old.txt bench_new.txt
+#
+# Output is one row per (benchmark, metric) present in both files, with the
+# old value, new value and the relative delta. Works on any Go benchmark
+# output: ns/op, B/op, allocs/op and custom ReportMetric units alike.
+set -eu
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 old.txt new.txt" >&2
+	exit 2
+fi
+
+parse() {
+	# Benchmark lines look like:
+	#   BenchmarkName/sub-8  3  99315222 ns/op  0.63 Mcycles/s  1956 B/op  19 allocs/op
+	# Emit "name metric value" triples, one per metric, with the -N proc
+	# suffix stripped so runs at different GOMAXPROCS still align.
+	awk '/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		for (i = 3; i + 1 <= NF; i += 2)
+			printf "%s %s %s\n", name, $(i + 1), $i
+	}' "$1"
+}
+
+old_tmp=$(mktemp)
+new_tmp=$(mktemp)
+trap 'rm -f "$old_tmp" "$new_tmp"' EXIT
+parse "$1" > "$old_tmp"
+parse "$2" > "$new_tmp"
+
+# Join on (name, metric); report old, new and delta%.
+awk '
+NR == FNR { old[$1 " " $2] = $3; next }
+{
+	key = $1 " " $2
+	if (!(key in old)) next
+	o = old[key] + 0
+	n = $3 + 0
+	delta = (o == 0) ? 0 : 100 * (n - o) / o
+	printf "%-55s %-12s %14g %14g %+9.1f%%\n", $1, $2, o, n, delta
+}
+BEGIN { printf "%-55s %-12s %14s %14s %10s\n", "benchmark", "metric", "old", "new", "delta" }
+' "$old_tmp" "$new_tmp"

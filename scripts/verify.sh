@@ -7,6 +7,9 @@
 #      driven through the par chaos hook, checkpoint/resume byte-identity —
 #      under the race detector, since failure paths exercise the locking the
 #      happy path never touches
+#   4. bench tier: a single-iteration run of the hot-loop benchmark so a
+#      broken harness fails verify; performance deltas are tracked with
+#      scripts/benchdiff.sh over full -benchtime runs
 set -eux
 
 go build ./...
@@ -16,3 +19,7 @@ go test -race ./internal/par ./internal/core ./internal/sweep ./internal/fault
 go test -race -run 'Chaos|CrashResume|Resilien|Watchdog|Retry|Collect|Partial|Checkpoint|Resume' \
 	./internal/par ./internal/checkpoint ./internal/fault ./internal/sweep \
 	./cmd/sweep ./cmd/sersim ./cmd/repro
+# bench tier: one iteration of the hot-loop benchmark, as a smoke test that
+# the benchmark harness still compiles and runs; compare real runs across
+# revisions with scripts/benchdiff.sh.
+go test -run NONE -bench PipelineHotLoop -benchtime 1x -benchmem .
