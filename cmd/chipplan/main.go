@@ -10,7 +10,6 @@ package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 
@@ -23,18 +22,19 @@ import (
 )
 
 func main() {
-	cli.Exit("chipplan", run(os.Args[1:]))
+	cli.Main("chipplan", run)
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("chipplan", flag.ContinueOnError)
+	d := cli.NewDriver("chipplan", "chipplan [flags] (-budget file.json | -measure bench)")
+	fs := d.FS
 	budgetPath := fs.String("budget", "", "JSON chip budget to evaluate")
 	measure := fs.String("measure", "", "Table-2 benchmark to measure a budget from")
 	commits := fs.Uint64("commits", core.DefaultCommits, "commits for -measure")
 	rawFIT := fs.Float64("rawfit", 0.05, "raw soft-error rate per bit (FIT) for -measure")
 	sdcTarget := fs.Float64("sdctarget", 5000, "SDC MTTF target in years for -measure")
 	dueTarget := fs.Float64("duetarget", 25, "DUE MTTF target in years for -measure")
-	if err := cli.Parse(fs, args); err != nil {
+	if err := d.Parse(args); err != nil {
 		return err
 	}
 

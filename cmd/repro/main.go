@@ -14,6 +14,10 @@
 //	repro simpoints  — AVF sensitivity to the SimPoint slice chosen (§5)
 //	repro all        — everything above (except simpoints)
 //
+// The table builders live in internal/experiments, shared with the seratd
+// evaluation service: a served response is byte-identical to this command's
+// output for the same parameters.
+//
 // Numbers come from the synthetic workload substrate, so absolute values
 // differ from the paper's Asim/SPEC measurements; the shapes are the
 // reproduction target (see EXPERIMENTS.md).
@@ -22,26 +26,24 @@ package main
 import (
 	"context"
 	"errors"
-	"flag"
-	"fmt"
 	"os"
-	"strings"
 
 	"softerror/internal/checkpoint"
 	"softerror/internal/cli"
 	"softerror/internal/core"
+	"softerror/internal/experiments"
 	"softerror/internal/fault"
-	"softerror/internal/par"
-	"softerror/internal/report"
 	"softerror/internal/spec"
 )
 
 func main() {
-	cli.Exit("repro", run(os.Args[1:]))
+	cli.Main("repro", run)
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	d := cli.NewDriver("repro",
+		"repro [flags] <table1|table2|outcomes|fig2|fig3|fig4|breakdown|ablation|protection|regfile|simpoints|all>")
+	fs := d.FS
 	commits := fs.Uint64("commits", core.DefaultCommits, "committed instructions per run")
 	benchList := fs.String("benches", "", "comma-separated benchmark subset (default: all 26)")
 	pet := fs.Int("pet", 512, "PET buffer entries for fig2")
@@ -50,15 +52,10 @@ func run(args []string) error {
 	strikes := fs.Int("strikes", 50_000, "fault-injection strikes for outcomes")
 	seed := fs.Uint64("seed", 1, "fault-injection seed")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned tables")
-	jobs := fs.Int("j", 0, "simulation worker count (default GOMAXPROCS); output is identical at any -j")
 	ckPath := fs.String("checkpoint", "", "snapshot the outcomes campaign to this file; removed on success")
 	resume := fs.Bool("resume", false, "resume the outcomes campaign from an existing -checkpoint snapshot")
 	prof := cli.NewProfile(fs)
-	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: repro [flags] <table1|table2|outcomes|fig2|fig3|fig4|breakdown|ablation|protection|regfile|simpoints|all>\n\n")
-		fs.PrintDefaults()
-	}
-	if err := cli.Parse(fs, args); err != nil {
+	if err := d.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -73,272 +70,52 @@ func run(args []string) error {
 	}
 	defer prof.Stop()
 
-	par.SetDefault(*jobs)
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
-	benches := spec.All()
-	if *benchList != "" {
-		benches = benches[:0]
-		for _, name := range strings.Split(*benchList, ",") {
-			b, ok := spec.ByName(strings.TrimSpace(name))
-			if !ok {
-				return cli.Usagef("unknown benchmark %q (known: %s)",
-					name, strings.Join(spec.Names(), ", "))
-			}
-			benches = append(benches, b)
-		}
-	}
-	suite := core.NewSuite(benches, *commits)
-	suite.Ctx = ctx
-	emit := func(t *report.Table) error {
-		if *csvOut {
-			return t.CSV(os.Stdout)
-		}
-		t.Fprint(os.Stdout)
-		fmt.Println()
-		return nil
-	}
-
-	experiments := map[string]func() error{
-		"table1":     func() error { return table1(suite, emit) },
-		"table2":     func() error { return table2(benches, emit) },
-		"outcomes":   func() error { return outcomes(ctx, benches, *commits, *strikes, *seed, *jobs, *ckPath, *resume, emit) },
-		"fig2":       func() error { return fig2(suite, *pet, emit) },
-		"fig3":       func() error { return fig3(suite, emit) },
-		"fig4":       func() error { return fig4(suite, emit) },
-		"breakdown":  func() error { return breakdown(suite, emit) },
-		"ablation":   func() error { return ablation(suite, emit) },
-		"protection": func() error { return protection(benches, *commits, *rawFIT, emit) },
-		"regfile":    func() error { return regfile(suite, emit) },
-		"simpoints":  func() error { return simPoints(benches, *commits, *simpoints, emit) },
+	benches, err := spec.ParseList(*benchList)
+	if err != nil {
+		return cli.Usagef("%v", err)
 	}
 	name := fs.Arg(0)
-	if name == "all" {
-		for _, k := range []string{"table2", "table1", "breakdown", "fig2", "fig3", "fig4", "ablation", "protection", "regfile", "outcomes"} {
-			if err := experiments[k](); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	exp, ok := experiments[name]
-	if !ok {
+	if !experiments.Valid(name) {
 		fs.Usage()
 		return cli.Usagef("unknown experiment %q", name)
 	}
-	return exp()
-}
-
-func table1(s *core.Suite, emit func(*report.Table) error) error {
-	rows, err := s.Table1()
-	if err != nil {
-		return err
+	suite := core.NewSuite(benches, *commits)
+	suite.Ctx = ctx
+	p := experiments.Params{
+		Suite:     suite,
+		Benches:   benches,
+		Commits:   *commits,
+		PET:       *pet,
+		RawFIT:    *rawFIT,
+		SimPoints: *simpoints,
+		Strikes:   *strikes,
+		Seed:      *seed,
+		Jobs:      d.Jobs(),
 	}
-	t := report.New("Table 1: impact of squashing on IPC and the IQ's SDC and DUE AVFs",
-		"design point", "IPC", "SDC AVF", "DUE AVF", "IPC/SDC AVF", "IPC/DUE AVF")
-	for _, r := range rows {
-		t.AddRow(r.Policy.String(), report.F2(r.IPC), report.Pct(r.SDCAVF),
-			report.Pct(r.DUEAVF), report.F2(r.MeritSDC), report.F2(r.MeritDUE))
-	}
-	return emit(t)
-}
-
-func table2(benches []spec.Benchmark, emit func(*report.Table) error) error {
-	t := report.New("Table 2: benchmark roster (synthetic SPEC CPU2000 stand-ins)",
-		"benchmark", "suite", "skipped (M)")
-	for _, b := range benches {
-		kind := "INT"
-		if b.FP {
-			kind = "FP"
+	// Only the outcomes campaign checkpoints; its geometry is a function of
+	// the first roster benchmark and the strike budget.
+	if *ckPath != "" && (name == "outcomes" || name == "all") {
+		if len(benches) == 0 {
+			return cli.Usagef("no benchmarks")
 		}
-		t.AddRow(b.Name, kind, fmt.Sprintf("%d", b.SkippedM))
-	}
-	return emit(t)
-}
-
-func outcomes(ctx context.Context, benches []spec.Benchmark, commits uint64, strikes int, seed uint64, jobs int, ckPath string, resume bool, emit func(*report.Table) error) error {
-	if len(benches) == 0 {
-		return cli.Usagef("no benchmarks")
-	}
-	b := benches[0]
-	var ck *checkpoint.File[fault.Result]
-	if ckPath != "" {
-		cells, fp := core.OutcomesPlan(b, commits, strikes, seed)
-		var err error
-		ck, err = checkpoint.Open[fault.Result](ckPath, "outcomes", fp, cells, resume)
+		cells, fp := core.OutcomesPlan(benches[0], *commits, *strikes, *seed)
+		ck, err := checkpoint.Open[fault.Result](*ckPath, "outcomes", fp, cells, *resume)
 		if err != nil {
 			return err
 		}
+		p.Checkpoint = ck
 	}
-	rows, err := core.OutcomesCampaign(ctx, b, commits, strikes, seed, jobs, ck)
-	if err != nil {
-		if ck != nil && errors.Is(err, context.Canceled) {
+	if err := experiments.Run(ctx, os.Stdout, name, p, *csvOut); err != nil {
+		if p.Checkpoint != nil && errors.Is(err, context.Canceled) {
 			return &cli.PartialError{
-				Done: ck.CountDone(), Total: ck.Total(), Path: ck.Path(), Err: err,
+				Done: p.Checkpoint.CountDone(), Total: p.Checkpoint.Total(),
+				Path: p.Checkpoint.Path(), Err: err,
 			}
 		}
 		return err
 	}
-	if err := ck.Remove(); err != nil {
-		return err
-	}
-	t := report.New(fmt.Sprintf("Figure 1: fault-outcome taxonomy (%s, %d strikes)", b.Name, strikes),
-		"configuration", "idle", "never-read", "benign", "SDC", "false DUE", "true DUE", "suppressed", "latent")
-	for _, r := range rows {
-		frac := func(o fault.Outcome) string {
-			return report.Pct(float64(r.Counts[o]) / float64(r.Strikes))
-		}
-		t.AddRow(r.Label, frac(fault.OutcomeIdle), frac(fault.OutcomeNeverRead),
-			frac(fault.OutcomeBenignUnACE), frac(fault.OutcomeSDC),
-			frac(fault.OutcomeFalseDUE), frac(fault.OutcomeTrueDUE),
-			frac(fault.OutcomeSuppressed), frac(fault.OutcomeLatent))
-	}
-	return emit(t)
-}
-
-func fig2(s *core.Suite, pet int, emit func(*report.Table) error) error {
-	rows, err := s.Figure2(pet)
-	if err != nil {
-		return err
-	}
-	t := report.New(fmt.Sprintf("Figure 2: false-DUE AVF remaining after cumulative tracking (PET=%d)", pet),
-		"benchmark", "base", "pi-commit", "anti-pi", "pet", "pi-regfile", "pi-storebuf", "pi-memory")
-	addRow := func(r core.Figure2Row) {
-		cells := []string{r.Bench, report.Pct(r.BaseFalseDUE)}
-		for _, rem := range r.Remaining {
-			cells = append(cells, report.Pct(rem))
-		}
-		t.AddRow(cells...)
-	}
-	for _, r := range rows {
-		addRow(r)
-	}
-	intOnly, fpOnly := false, true
-	mi := core.Figure2Mean(rows, &intOnly)
-	mi.Bench = "mean-INT"
-	mf := core.Figure2Mean(rows, &fpOnly)
-	mf.Bench = "mean-FP"
-	ma := core.Figure2Mean(rows, nil)
-	ma.Bench = "mean-ALL"
-	for _, m := range []core.Figure2Row{mi, mf, ma} {
-		addRow(m)
-	}
-	return emit(t)
-}
-
-func fig3(s *core.Suite, emit func(*report.Table) error) error {
-	rows, err := s.Figure3(nil)
-	if err != nil {
-		return err
-	}
-	t := report.New("Figure 3: FDD coverage vs PET-buffer size",
-		"entries", "FDD-reg", "+returns", "+memory")
-	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%d", r.Entries), report.Pct(r.FDDReg),
-			report.Pct(r.WithReturns), report.Pct(r.WithMemory))
-	}
-	return emit(t)
-}
-
-func fig4(s *core.Suite, emit func(*report.Table) error) error {
-	rows, err := s.Figure4()
-	if err != nil {
-		return err
-	}
-	t := report.New("Figure 4: combined squash-L1 + pi-to-store tracking, relative to baseline",
-		"benchmark", "rel SDC AVF", "rel DUE AVF", "rel IPC")
-	var sdc, due, ipc []float64
-	for _, r := range rows {
-		t.AddRow(r.Bench, report.F3(r.RelSDC), report.F3(r.RelDUE), report.F3(r.RelIPC))
-		sdc = append(sdc, r.RelSDC)
-		due = append(due, r.RelDUE)
-		ipc = append(ipc, r.RelIPC)
-	}
-	t.AddRow("geomean", report.F3(core.GeoMean(sdc)), report.F3(core.GeoMean(due)), report.F3(core.GeoMean(ipc)))
-	return emit(t)
-}
-
-func breakdown(s *core.Suite, emit func(*report.Table) error) error {
-	rows, err := s.Breakdown()
-	if err != nil {
-		return err
-	}
-	t := report.New("Occupancy breakdown of the IQ (section 4.1)",
-		"benchmark", "idle", "never-read", "Ex-ACE", "un-ACE", "ACE")
-	var idle, nr, ex, un, ace float64
-	for _, r := range rows {
-		t.AddRow(r.Bench, report.Pct(r.Idle), report.Pct(r.NeverRead),
-			report.Pct(r.ExACE), report.Pct(r.UnACE), report.Pct(r.ACE))
-		idle += r.Idle
-		nr += r.NeverRead
-		ex += r.ExACE
-		un += r.UnACE
-		ace += r.ACE
-	}
-	n := float64(len(rows))
-	t.AddRow("mean", report.Pct(idle/n), report.Pct(nr/n), report.Pct(ex/n),
-		report.Pct(un/n), report.Pct(ace/n))
-	return emit(t)
-}
-
-func ablation(s *core.Suite, emit func(*report.Table) error) error {
-	rows, err := s.ThrottleAblation()
-	if err != nil {
-		return err
-	}
-	t := report.New("Ablation: squashing vs fetch throttling (section 3.1)",
-		"design point", "IPC", "SDC AVF", "IPC/SDC AVF")
-	for _, r := range rows {
-		t.AddRow(r.Policy.String(), report.F2(r.IPC), report.Pct(r.SDCAVF), report.F2(r.MeritSDC))
-	}
-	return emit(t)
-}
-
-func protection(benches []spec.Benchmark, commits uint64, rawFIT float64, emit func(*report.Table) error) error {
-	rows, err := core.ProtectionComparison(benches, commits, rawFIT)
-	if err != nil {
-		return err
-	}
-	t := report.New(fmt.Sprintf("Protection design space for the IQ at %.4f FIT/bit", rawFIT),
-		"scheme", "SDC rate", "DUE rate")
-	for _, r := range rows {
-		t.AddRow(r.Scheme, r.SDCFIT.String(), r.DUEFIT.String())
-	}
-	return emit(t)
-}
-
-func simPoints(benches []spec.Benchmark, commits uint64, n int, emit func(*report.Table) error) error {
-	t := report.New(fmt.Sprintf("SimPoint sensitivity (%d slices per benchmark, baseline)", n),
-		"benchmark", "IPC", "+/-", "SDC AVF", "+/-", "DUE AVF", "+/-")
-	for _, b := range benches {
-		sum, err := core.RunSimPoints(b, core.PolicyBaseline, n, commits)
-		if err != nil {
-			return err
-		}
-		t.AddRow(b.Name,
-			report.F2(sum.MeanIPC), report.F2(sum.StdIPC),
-			report.Pct(sum.MeanSDCAVF), report.Pct(sum.StdSDCAVF),
-			report.Pct(sum.MeanDUEAVF), report.Pct(sum.StdDUEAVF))
-	}
-	return emit(t)
-}
-
-func regfile(s *core.Suite, emit func(*report.Table) error) error {
-	rows, err := s.RegFile()
-	if err != nil {
-		return err
-	}
-	t := report.New("Register-file vulnerability across the roster (section 8 extension)",
-		"benchmark", "SDC AVF", "false DUE", "Ex-ACE", "untouched")
-	var sdc, fd float64
-	for _, r := range rows {
-		t.AddRow(r.Bench, report.Pct(r.SDCAVF), report.Pct(r.FalseDUEAVF),
-			report.Pct(r.ExACE), report.Pct(r.Untouched))
-		sdc += r.SDCAVF
-		fd += r.FalseDUEAVF
-	}
-	n := float64(len(rows))
-	t.AddRow("mean", report.Pct(sdc/n), report.Pct(fd/n), "", "")
-	return emit(t)
+	return p.Checkpoint.Remove()
 }

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"softerror/internal/server"
+)
+
+// captureRun runs the repro CLI with args and returns exactly the bytes it
+// writes to stdout.
+func captureRun(t *testing.T, args ...string) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	outc := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outc <- b
+	}()
+	runErr := run(args)
+	os.Stdout = old
+	w.Close()
+	out := <-outc
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("run(%v): %v", args, runErr)
+	}
+	return out
+}
+
+// postEval sends one evaluation to the service and returns status, X-Cache
+// and body.
+func postEval(t *testing.T, s *server.Server, req server.EvalRequest) (int, string, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("POST", "/v1/eval", bytes.NewReader(body)))
+	return w.Code, w.Header().Get("X-Cache"), w.Body.Bytes()
+}
+
+// TestServerEvalByteIdentity is the service's reproducibility acceptance
+// test: for the same parameterisation, POST /v1/eval returns exactly the
+// bytes `repro` prints — on the cache miss that computes the result AND on
+// the cache hit that replays it. The CLI and the service share one
+// rendering path (internal/experiments), and this pins it.
+func TestServerEvalByteIdentity(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	t.Cleanup(s.Close)
+
+	cases := []struct {
+		name string
+		args []string
+		req  server.EvalRequest
+	}{
+		{
+			name: "table1",
+			args: []string{"-benches", "gzip-graphic,ammp", "-commits", "8000", "table1"},
+			req: server.EvalRequest{
+				Experiment: "table1",
+				Benches:    []string{"gzip-graphic", "ammp"},
+				Commits:    8000,
+			},
+		},
+		{
+			name: "table1-csv",
+			args: []string{"-csv", "-benches", "gzip-graphic,ammp", "-commits", "8000", "table1"},
+			req: server.EvalRequest{
+				Experiment: "table1",
+				Benches:    []string{"gzip-graphic", "ammp"},
+				Commits:    8000,
+				CSV:        true,
+			},
+		},
+		{
+			name: "breakdown",
+			args: []string{"-benches", "gzip-graphic,ammp", "-commits", "8000", "breakdown"},
+			req: server.EvalRequest{
+				Experiment: "breakdown",
+				Benches:    []string{"gzip-graphic", "ammp"},
+				Commits:    8000,
+			},
+		},
+		{
+			name: "outcomes",
+			args: []string{"-benches", "gzip-graphic", "-commits", "8000", "-strikes", "2000", "outcomes"},
+			req: server.EvalRequest{
+				Experiment: "outcomes",
+				Benches:    []string{"gzip-graphic"},
+				Commits:    8000,
+				Strikes:    2000,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := captureRun(t, tc.args...)
+			if len(want) == 0 {
+				t.Fatal("CLI produced no output")
+			}
+
+			code, xcache, miss := postEval(t, s, tc.req)
+			if code != http.StatusOK {
+				t.Fatalf("miss: status %d, body %s", code, miss)
+			}
+			if xcache != "miss" {
+				t.Fatalf("first request X-Cache = %q, want miss", xcache)
+			}
+			if !bytes.Equal(miss, want) {
+				t.Errorf("cache-miss body differs from CLI output\nserver:\n%s\nCLI:\n%s", miss, want)
+			}
+
+			code, xcache, hit := postEval(t, s, tc.req)
+			if code != http.StatusOK {
+				t.Fatalf("hit: status %d, body %s", code, hit)
+			}
+			if xcache != "hit" {
+				t.Fatalf("second request X-Cache = %q, want hit", xcache)
+			}
+			if !bytes.Equal(hit, want) {
+				t.Errorf("cache-hit body differs from CLI output")
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+// Command seratd serves the repository's AVF-evaluation engine over HTTP:
+// single evaluations with a content-addressed result cache, sweep-grid
+// jobs with admission control and live progress streaming, and
+// expvar-backed metrics.
+//
+//	seratd -addr :8080
+//	curl -d '{"experiment":"table1","benches":"gzip" ...}' localhost:8080/v1/eval
+//
+// On SIGINT/SIGTERM the daemon drains: new work is rejected, accepted
+// jobs finish (or, with -checkpoint set, are interrupted and
+// checkpointed), then the process exits. No accepted job is dropped.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"softerror/internal/cli"
+	"softerror/internal/server"
+)
+
+func main() { cli.Main("seratd", run) }
+
+func run(args []string) error {
+	d := cli.NewDriver("seratd", "seratd [flags]")
+	fs := d.FS
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks one)")
+	portFile := fs.String("portfile", "", "write the bound address to this file once listening")
+	maxJobs := fs.Int("maxjobs", 2, "sweep jobs running concurrently")
+	maxQueue := fs.Int("maxqueue", 8, "accepted sweep jobs allowed to wait for a slot")
+	maxEvals := fs.Int("maxevals", 4, "eval computations in flight before shedding with 429")
+	cacheMB := fs.Int64("cachemb", 64, "result cache budget in MiB")
+	ckDir := fs.String("checkpoint", "", "directory for interrupted-job checkpoints (empty: drain waits for jobs to finish)")
+	drainWait := fs.Duration("drainwait", time.Minute, "maximum time to wait for in-flight work at shutdown")
+	if err := d.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return cli.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	if *ckDir != "" {
+		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	srv := server.New(server.Config{
+		MaxJobs:       *maxJobs,
+		MaxQueue:      *maxQueue,
+		MaxEvals:      *maxEvals,
+		Workers:       d.Jobs(),
+		CacheBytes:    *cacheMB << 20,
+		CheckpointDir: *ckDir,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "seratd: listening on %s\n", bound)
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting connections and new work, let accepted work
+	// reach a terminal state (finish or checkpoint), then exit.
+	fmt.Fprintln(os.Stderr, "seratd: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	hs.Shutdown(dctx)
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Fprintln(os.Stderr, "seratd: drained")
+	return nil
+}

@@ -20,7 +20,6 @@ package main
 import (
 	"context"
 	"errors"
-	"flag"
 	"fmt"
 	"os"
 
@@ -41,11 +40,12 @@ import (
 )
 
 func main() {
-	cli.Exit("sersim", run(os.Args[1:]))
+	cli.Main("sersim", run)
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("sersim", flag.ContinueOnError)
+	d := cli.NewDriver("sersim", "sersim [flags]")
+	fs := d.FS
 	bench := fs.String("bench", "", "benchmark name from the Table-2 roster (default: the generic workload)")
 	configPath := fs.String("config", "", "JSON experiment config (see internal/config); -bench/-policy still apply on top")
 	policy := fs.String("policy", "baseline", "exposure policy: baseline, squash-l1, squash-l0, throttle-l1, throttle-l0")
@@ -54,12 +54,11 @@ func run(args []string) error {
 	freq := fs.Float64("freq", 2.5e9, "clock frequency in Hz (the paper's part: 2.5 GHz)")
 	pet := fs.Int("pet", 512, "PET buffer entries")
 	saveTrace := fs.String("savetrace", "", "write the full trace to this file (analyse with traceview)")
-	jobs := fs.Int("j", 0, "analysis worker count (default GOMAXPROCS); output is identical at any -j")
 	strikes := fs.Int("strikes", 0, "also run a fault-injection campaign with this many strikes per configuration (0 = skip)")
 	faultSeed := fs.Uint64("faultseed", 1, "fault-injection campaign seed")
 	ckPath := fs.String("checkpoint", "", "snapshot the fault campaign to this file; removed on success")
 	resume := fs.Bool("resume", false, "resume the fault campaign from an existing -checkpoint snapshot")
-	if err := cli.Parse(fs, args); err != nil {
+	if err := d.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *ckPath == "" {
@@ -68,7 +67,6 @@ func run(args []string) error {
 	if *ckPath != "" && *strikes <= 0 {
 		return cli.Usagef("-checkpoint requires -strikes")
 	}
-	par.SetDefault(*jobs)
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
@@ -92,9 +90,9 @@ func run(args []string) error {
 		}
 		params = b.Params
 	}
-	pol, err := parsePolicy(*policy)
+	pol, err := core.ParsePolicy(*policy)
 	if err != nil {
-		return err
+		return cli.Usagef("%v", err)
 	}
 	pol.Apply(&pcfg)
 	// Stream by default: residencies fold into the AVF integrals as they
@@ -216,7 +214,7 @@ func run(args []string) error {
 		} else {
 			inj = fault.NewInjector(res.Trace, rep.Dead)
 		}
-		if err := faultCampaign(ctx, res, inj, *strikes, *faultSeed, *jobs, *ckPath, *resume); err != nil {
+		if err := faultCampaign(ctx, res, inj, *strikes, *faultSeed, d.Jobs(), *ckPath, *resume); err != nil {
 			return err
 		}
 	}
@@ -270,21 +268,4 @@ func faultCampaign(ctx context.Context, res *core.Result, inj *fault.Injector, s
 	}
 	t.Fprint(os.Stdout)
 	return camp.Checkpoint.Remove()
-}
-
-func parsePolicy(s string) (core.Policy, error) {
-	switch s {
-	case "baseline", "none":
-		return core.PolicyBaseline, nil
-	case "squash-l1":
-		return core.PolicySquashL1, nil
-	case "squash-l0":
-		return core.PolicySquashL0, nil
-	case "throttle-l1":
-		return core.PolicyThrottleL1, nil
-	case "throttle-l0":
-		return core.PolicyThrottleL0, nil
-	default:
-		return 0, cli.Usagef("unknown policy %q", s)
-	}
 }

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"softerror/internal/core"
 )
 
 func silence(t *testing.T) {
@@ -23,11 +25,11 @@ func silence(t *testing.T) {
 func TestParsePolicy(t *testing.T) {
 	good := []string{"baseline", "none", "squash-l1", "squash-l0", "throttle-l1", "throttle-l0"}
 	for _, s := range good {
-		if _, err := parsePolicy(s); err != nil {
-			t.Errorf("parsePolicy(%q): %v", s, err)
+		if _, err := core.ParsePolicy(s); err != nil {
+			t.Errorf("core.ParsePolicy(%q): %v", s, err)
 		}
 	}
-	if _, err := parsePolicy("bogus"); err == nil {
+	if _, err := core.ParsePolicy("bogus"); err == nil {
 		t.Error("parsePolicy accepted nonsense")
 	}
 }

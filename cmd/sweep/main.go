@@ -16,7 +16,6 @@ package main
 import (
 	"context"
 	"errors"
-	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -31,11 +30,12 @@ import (
 )
 
 func main() {
-	cli.Exit("sweep", run(os.Args[1:]))
+	cli.Main("sweep", run)
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	d := cli.NewDriver("sweep", "sweep [flags]")
+	fs := d.FS
 	benchList := fs.String("benches", "", "comma-separated benchmarks (default: all 26)")
 	polList := fs.String("policies", "baseline,squash-l1,squash-l0", "comma-separated policies")
 	sizeList := fs.String("iqsizes", "64", "comma-separated instruction-queue sizes")
@@ -43,25 +43,23 @@ func run(args []string) error {
 	commits := fs.Uint64("commits", core.DefaultCommits, "committed instructions per cell")
 	out := fs.String("out", "", "output CSV path (default: stdout)")
 	quiet := fs.Bool("q", false, "suppress progress on stderr")
-	jobs := fs.Int("j", 0, "simulation worker count (default GOMAXPROCS); output is identical at any -j")
 	ckPath := fs.String("checkpoint", "", "snapshot completed cells to this file; removed on success")
 	resume := fs.Bool("resume", false, "resume from an existing -checkpoint snapshot")
 	onError := fs.String("onerror", "fail", "failed-cell policy: fail (cancel grid) or continue (finish other cells)")
 	taskTimeout := fs.Duration("tasktimeout", 0, "per-cell watchdog deadline (0 = none)")
 	retries := fs.Int("retries", 0, "deterministic re-attempts for failed or hung cells")
 	prof := cli.NewProfile(fs)
-	if err := cli.Parse(fs, args); err != nil {
+	if err := d.Parse(args); err != nil {
 		return err
 	}
 	if err := prof.Start(); err != nil {
 		return err
 	}
 	defer prof.Stop()
-	par.SetDefault(*jobs)
 
 	g := &sweep.Grid{
 		Commits:     *commits,
-		Workers:     *jobs,
+		Workers:     d.Jobs(),
 		TaskTimeout: *taskTimeout,
 		Retries:     *retries,
 	}
@@ -76,21 +74,15 @@ func run(args []string) error {
 	if *resume && *ckPath == "" {
 		return cli.Usagef("-resume requires -checkpoint")
 	}
-	g.Benches = spec.All()
-	if *benchList != "" {
-		g.Benches = g.Benches[:0]
-		for _, name := range strings.Split(*benchList, ",") {
-			b, ok := spec.ByName(strings.TrimSpace(name))
-			if !ok {
-				return cli.Usagef("unknown benchmark %q", name)
-			}
-			g.Benches = append(g.Benches, b)
-		}
+	benches, err := spec.ParseList(*benchList)
+	if err != nil {
+		return cli.Usagef("%v", err)
 	}
+	g.Benches = benches
 	for _, p := range strings.Split(*polList, ",") {
-		pol, err := parsePolicy(strings.TrimSpace(p))
+		pol, err := core.ParsePolicy(strings.TrimSpace(p))
 		if err != nil {
-			return err
+			return cli.Usagef("%v", err)
 		}
 		g.Policies = append(g.Policies, pol)
 	}
@@ -190,21 +182,4 @@ func writeRows(out string, rows []sweep.Row, skip map[int]bool) error {
 		w = f
 	}
 	return sweep.WriteCSVSkipping(w, rows, skip)
-}
-
-func parsePolicy(s string) (core.Policy, error) {
-	switch s {
-	case "baseline", "none":
-		return core.PolicyBaseline, nil
-	case "squash-l1":
-		return core.PolicySquashL1, nil
-	case "squash-l0":
-		return core.PolicySquashL0, nil
-	case "throttle-l1":
-		return core.PolicyThrottleL1, nil
-	case "throttle-l0":
-		return core.PolicyThrottleL0, nil
-	default:
-		return 0, cli.Usagef("unknown policy %q", s)
-	}
 }

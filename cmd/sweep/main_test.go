@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"softerror/internal/core"
 )
 
 func TestSweepToFile(t *testing.T) {
@@ -43,8 +45,8 @@ func TestSweepErrors(t *testing.T) {
 
 func TestParsePolicyNames(t *testing.T) {
 	for _, s := range []string{"baseline", "none", "squash-l1", "squash-l0", "throttle-l1", "throttle-l0"} {
-		if _, err := parsePolicy(s); err != nil {
-			t.Errorf("parsePolicy(%q): %v", s, err)
+		if _, err := core.ParsePolicy(s); err != nil {
+			t.Errorf("core.ParsePolicy(%q): %v", s, err)
 		}
 	}
 }

@@ -9,7 +9,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
@@ -22,18 +21,15 @@ import (
 )
 
 func main() {
-	cli.Exit("traceview", run(os.Args[1:]))
+	cli.Main("traceview", run)
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	d := cli.NewDriver("traceview", "traceview [flags] <file.trace>")
+	fs := d.FS
 	strikes := fs.Int("strikes", 0, "if > 0, run a fault-injection campaign with this many strikes")
 	seed := fs.Uint64("seed", 1, "fault-injection seed")
-	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: traceview [flags] <file.trace>\n\n")
-		fs.PrintDefaults()
-	}
-	if err := cli.Parse(fs, args); err != nil {
+	if err := d.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {

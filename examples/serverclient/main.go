@@ -1,0 +1,117 @@
+// Serverclient runs seratd's engine end to end in one process: it starts
+// the evaluation service on an ephemeral port, then plays a client
+// against it — an evaluation computed once and then served from cache
+// byte-identically, a sweep job followed live over the ndjson event
+// stream, the finished grid fetched as CSV, and a metrics snapshot.
+//
+//	go run ./examples/serverclient
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"softerror/internal/server"
+)
+
+func main() {
+	// The service is an http.Handler; serve it wherever you like.
+	srv := server.New(server.Config{Workers: 4})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("seratd listening on %s\n\n", base)
+
+	// 1. An evaluation: the first request simulates, the second is served
+	// from the content-addressed cache with the same bytes.
+	eval := `{"experiment":"table1","benches":["gzip-graphic","ammp"],"commits":8000}`
+	first, hdr1 := post(base+"/v1/eval", eval)
+	second, hdr2 := post(base+"/v1/eval", eval)
+	fmt.Printf("eval #1: X-Cache=%s (%d bytes)\n", hdr1, len(first))
+	fmt.Printf("eval #2: X-Cache=%s, byte-identical=%v\n\n", hdr2, bytes.Equal(first, second))
+	fmt.Println(strings.TrimRight(string(second), "\n"))
+	fmt.Println()
+
+	// 2. A sweep job, watched live: submit the grid, then follow the event
+	// stream until the terminal transition.
+	grid := `{"benches":["mcf"],"policies":["baseline","squash-l1","throttle-l1"],"iqsizes":[16,64],"commits":8000}`
+	accBody, _ := post(base+"/v1/sweep", grid)
+	var acc struct {
+		ID    string `json:"id"`
+		Total int    `json:"total"`
+	}
+	if err := json.Unmarshal(accBody, &acc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep accepted: %s (%d cells)\n", acc.ID, acc.Total)
+	resp, err := http.Get(base + "/v1/jobs/" + acc.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Printf("  event: %s\n", sc.Text())
+	}
+	resp.Body.Close()
+
+	// 3. The finished grid as CSV — the same bytes cmd/sweep would write.
+	resp, err = http.Get(base + "/v1/jobs/" + acc.ID + "/csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	csv, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("\n%s\n", csv)
+
+	// 4. A few metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m map[string]any
+	json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	for _, k := range []string{"requests", "cache_hits", "cache_misses", "jobs_done", "mcycles_simulated"} {
+		fmt.Printf("metrics: %-18s %v\n", k, m[k])
+	}
+
+	// 5. Drain before exit: no accepted work is dropped.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	hs.Shutdown(ctx)
+	fmt.Println("\ndrained cleanly")
+}
+
+// post sends a JSON body and returns the response body and X-Cache header.
+func post(url, body string) ([]byte, string) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		log.Fatalf("%s: %s: %s", url, resp.Status, b)
+	}
+	return b, resp.Header.Get("X-Cache")
+}

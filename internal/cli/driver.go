@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softerror/internal/par"
+)
+
+// Driver bundles the flag plumbing every command repeats: a
+// ContinueOnError FlagSet named after the command, an optional usage
+// synopsis printed above the flag defaults, the shared -j worker flag
+// wired into par.SetDefault, and usage-classified parsing.
+//
+//	func run(args []string) error {
+//		d := cli.NewDriver("mycmd", "mycmd [flags] <arg>")
+//		verbose := d.FS.Bool("v", false, "verbose")
+//		if err := d.Parse(args); err != nil {
+//			return err
+//		}
+//		...
+//	}
+type Driver struct {
+	// FS is the command's flag set; register command-specific flags on it
+	// before calling Parse.
+	FS   *flag.FlagSet
+	jobs *int
+}
+
+// NewDriver builds a Driver for the named command. synopsis, when
+// non-empty, becomes the first line of the usage message.
+func NewDriver(name, synopsis string) *Driver {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	if synopsis != "" {
+		fs.Usage = func() {
+			fmt.Fprintf(fs.Output(), "usage: %s\n\n", synopsis)
+			fs.PrintDefaults()
+		}
+	}
+	d := &Driver{FS: fs}
+	d.jobs = fs.Int("j", 0, "simulation worker count (default GOMAXPROCS); output is identical at any -j")
+	return d
+}
+
+// Parse parses args with usage-error classification and installs the -j
+// value as the package-wide worker default.
+func (d *Driver) Parse(args []string) error {
+	if err := Parse(d.FS, args); err != nil {
+		return err
+	}
+	par.SetDefault(*d.jobs)
+	return nil
+}
+
+// Jobs returns the parsed -j value (0 = GOMAXPROCS default).
+func (d *Driver) Jobs() int { return *d.jobs }
+
+// Main is the shared main() body: run the command on os.Args and exit with
+// the documented code.
+func Main(name string, run func(args []string) error) {
+	Exit(name, run(os.Args[1:]))
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"softerror/internal/ace"
 	"softerror/internal/cache"
@@ -47,6 +48,25 @@ func (p Policy) String() string {
 		return policyNames[p]
 	}
 	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy resolves the flag/API vocabulary shared by cmd/sweep,
+// cmd/sersim and the evaluation service to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "baseline", "none":
+		return PolicyBaseline, nil
+	case "squash-l1":
+		return PolicySquashL1, nil
+	case "squash-l0":
+		return PolicySquashL0, nil
+	case "throttle-l1":
+		return PolicyThrottleL1, nil
+	case "throttle-l0":
+		return PolicyThrottleL0, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (known: baseline, squash-l1, squash-l0, throttle-l1, throttle-l0)", s)
+	}
 }
 
 // Apply configures a pipeline for the policy.
@@ -102,6 +122,15 @@ type Config struct {
 
 // DefaultCommits is the default per-run commit count.
 const DefaultCommits = 100_000
+
+// simCycles accumulates every cycle simulated by this process, across all
+// workers and drivers; the evaluation service reads it to report a
+// simulated-Mcycles/s throughput gauge.
+var simCycles atomic.Uint64
+
+// CyclesSimulated returns the total number of cycles simulated by this
+// process so far. Safe for concurrent use.
+func CyclesSimulated() uint64 { return simCycles.Load() }
 
 // Result is the distilled outcome of one simulation.
 type Result struct {
@@ -199,6 +228,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if cfg.StoreBuffer {
 			res.StoreBufferReport = ace.AnalyzeStoreBuffer(tr, rep.Dead)
 		}
+		simCycles.Add(res.Cycles)
 		return res, nil
 	}
 	// Streaming path: residencies fold into the AVF integrals as their
@@ -217,6 +247,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	reps := coll.Finish(st.Cycles)
+	simCycles.Add(st.Cycles)
 	return &Result{
 		Name:              cfg.Workload.Name,
 		IPC:               st.IPC(),

@@ -1,0 +1,101 @@
+// Package server implements seratd, the AVF-evaluation service: an HTTP
+// front over the evaluation engine with a content-addressed result cache,
+// admission-controlled sweep jobs, live progress streaming, and
+// expvar-backed metrics.
+//
+// The service leans on the property the rest of the repository is built
+// around: every artefact is a pure, deterministic function of its full
+// parameterisation. Requests are therefore fingerprinted exactly like
+// checkpoint resume validation (internal/checkpoint), identical requests
+// are served from cache with byte-identical bodies, and cache misses run
+// on the same resilient worker pool (internal/par) the CLI campaigns use.
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: keys are fingerprints of an
+// evaluation's full parameterisation, values the exact bytes served for
+// it. Eviction is LRU bounded by the total cached body bytes, so one huge
+// artefact cannot pin unbounded memory. Safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// cacheEntry is one cached response body plus its content type.
+type cacheEntry struct {
+	key   string
+	ctype string
+	body  []byte
+}
+
+// NewCache builds a cache bounded to maxBytes of body data; maxBytes <= 0
+// disables caching (every Get misses, every Put is dropped).
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		max:   maxBytes,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body and content type for key, marking the entry
+// most recently used. The returned slice is shared — callers must not
+// mutate it.
+func (c *Cache) Get(key string) (body []byte, ctype string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, "", false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.ctype, true
+}
+
+// Put records the response for key, evicting least-recently-used entries
+// until the byte budget holds. Bodies larger than the whole budget are not
+// cached at all.
+func (c *Cache) Put(key, ctype string, body []byte) {
+	if int64(len(body)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Deterministic evaluation means a re-computed body is identical;
+		// just refresh the recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, ctype: ctype, body: body})
+	c.size += int64(len(body))
+	for c.size > c.max {
+		el := c.ll.Back()
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.size -= int64(len(e.body))
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the total cached body bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

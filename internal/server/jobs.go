@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"softerror/internal/sweep"
+)
+
+// JobState enumerates a job's lifecycle. Every accepted job reaches one of
+// the three terminal states — done, failed or interrupted — so a drained
+// server never silently drops accepted work.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker slot.
+	JobQueued JobState = "queued"
+	// JobRunning: occupying a worker slot.
+	JobRunning JobState = "running"
+	// JobDone: every cell completed; rows and CSV are servable.
+	JobDone JobState = "done"
+	// JobFailed: the grid returned an error; under the continue policy the
+	// unpoisoned rows remain servable with the failures skipped.
+	JobFailed JobState = "failed"
+	// JobInterrupted: the server drained while the job was accepted or
+	// running. Completed cells live in the checkpoint (when checkpointing
+	// is configured); resubmitting the identical grid resumes them.
+	JobInterrupted JobState = "interrupted"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobInterrupted
+}
+
+// Event is one observation on a job's event stream: a state transition or
+// a progress step. Seq increases by one per event.
+type Event struct {
+	Seq   int      `json:"seq"`
+	State JobState `json:"state"`
+	Done  int      `json:"done"`
+	Total int      `json:"total"`
+	Error string   `json:"error,omitempty"`
+}
+
+// JobStatus is the poll-endpoint snapshot of a job.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Done  int      `json:"done"`
+	Total int      `json:"total"`
+	Error string   `json:"error,omitempty"`
+	// Checkpoint names the snapshot file holding the completed cells of an
+	// interrupted job, when the server checkpoints jobs.
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+// Job is one accepted sweep campaign. The content-addressed identity is
+// Fingerprint (the grid's full parameterisation); ID is the serving handle.
+type Job struct {
+	ID          string
+	Fingerprint string
+	Total       int
+
+	mu      sync.Mutex
+	changed chan struct{} // closed and replaced on every event
+	state   JobState
+	done    int
+	errMsg  string
+	ckpt    string
+	rows    []sweep.Row
+	skip    map[int]bool
+	events  []Event
+}
+
+func newJob(id, fingerprint string, total int) *Job {
+	j := &Job{
+		ID:          id,
+		Fingerprint: fingerprint,
+		Total:       total,
+		changed:     make(chan struct{}),
+		state:       JobQueued,
+	}
+	j.record(JobQueued, 0, "")
+	return j
+}
+
+// record appends an event and wakes every stream listener. Callers must
+// not hold j.mu.
+func (j *Job) record(state JobState, done int, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.done = done
+	if errMsg != "" {
+		j.errMsg = errMsg
+	}
+	j.events = append(j.events, Event{
+		Seq:   len(j.events),
+		State: state,
+		Done:  done,
+		Total: j.Total,
+		Error: errMsg,
+	})
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// start marks the job running.
+func (j *Job) start() { j.record(JobRunning, j.doneCount(), "") }
+
+// progress records one completed cell count (monotonic per the grid's
+// progress contract).
+func (j *Job) progress(done int) { j.record(JobRunning, done, "") }
+
+// finish moves the job to a terminal state, retaining any salvageable rows
+// (with poisoned indices flagged) and the checkpoint path for resume.
+func (j *Job) finish(state JobState, rows []sweep.Row, skip map[int]bool, ckpt string, err error) {
+	j.mu.Lock()
+	j.rows = rows
+	j.skip = skip
+	j.ckpt = ckpt
+	j.mu.Unlock()
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	j.record(state, j.doneCount(), msg)
+}
+
+func (j *Job) doneCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
+
+// State returns the current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Status snapshots the job for the poll endpoint.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:    j.ID,
+		State: j.state,
+		Done:  j.done,
+		Total: j.Total,
+		Error: j.errMsg,
+	}
+	if j.state == JobInterrupted {
+		st.Checkpoint = j.ckpt
+	}
+	return st
+}
+
+// Rows returns the job's result rows and poisoned-cell set, valid once the
+// job is terminal.
+func (j *Job) Rows() ([]sweep.Row, map[int]bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rows, j.skip
+}
+
+// next blocks until event i exists (returning it) or ctx is cancelled.
+func (j *Job) next(ctx context.Context, i int) (Event, bool) {
+	for {
+		j.mu.Lock()
+		if i < len(j.events) {
+			ev := j.events[i]
+			j.mu.Unlock()
+			return ev, true
+		}
+		ch := j.changed
+		j.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return Event{}, false
+		}
+	}
+}

@@ -24,6 +24,7 @@ package spec
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"softerror/internal/workload"
 )
@@ -256,6 +257,27 @@ func ByName(name string) (Benchmark, bool) {
 		}
 	}
 	return Benchmark{}, false
+}
+
+// ParseList resolves a comma-separated benchmark list to roster entries,
+// trimming whitespace around names; an empty (or all-blank) list means the
+// full roster. It is the shared vocabulary of the -benches flags and the
+// evaluation service's request schema.
+func ParseList(list string) ([]Benchmark, error) {
+	if strings.TrimSpace(list) == "" {
+		return All(), nil
+	}
+	var out []Benchmark
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		b, ok := ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (known: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 // Names returns the sorted benchmark names, for CLI help text.

@@ -236,6 +236,63 @@ var csvHeader = []string{
 	"ipc", "sdc_avf", "due_avf", "false_due_avf", "merit_sdc", "squashes",
 }
 
+// CSVWriter streams rows to an io.Writer in the long format, one row at a
+// time, writing the header before the first row. Producers that learn rows
+// incrementally — the server's job CSV endpoint, a resumed campaign —
+// share it with the batch writers below, so every CSV in the system is
+// byte-identical regardless of which path emitted it. Not safe for
+// concurrent use.
+type CSVWriter struct {
+	cw       *csv.Writer
+	headered bool
+}
+
+// NewCSVWriter wraps w; nothing is written until the first WriteRow or
+// Flush.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w)}
+}
+
+// WriteRow appends one row, emitting the header first when needed.
+func (w *CSVWriter) WriteRow(r Row) error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	suite := "int"
+	if r.FP {
+		suite = "fp"
+	}
+	return w.cw.Write([]string{
+		r.Bench, suite, r.Policy.String(),
+		strconv.Itoa(r.IQSize), strconv.FormatBool(r.OutOfOrder),
+		fmt.Sprintf("%.4f", r.IPC),
+		fmt.Sprintf("%.6f", r.SDCAVF),
+		fmt.Sprintf("%.6f", r.DUEAVF),
+		fmt.Sprintf("%.6f", r.FalseDUEAVF),
+		fmt.Sprintf("%.4f", r.MeritSDC),
+		strconv.FormatUint(r.Squashes, 10),
+	})
+}
+
+func (w *CSVWriter) writeHeader() error {
+	if w.headered {
+		return nil
+	}
+	w.headered = true
+	return w.cw.Write(csvHeader)
+}
+
+// Flush drains buffered rows to the underlying writer and reports any
+// write error. An empty grid still yields a well-formed CSV: Flush writes
+// the header even when no row was.
+func (w *CSVWriter) Flush() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
 // WriteCSV emits the rows in long format with a header.
 func WriteCSV(w io.Writer, rows []Row) error {
 	return WriteCSVSkipping(w, rows, nil)
@@ -245,32 +302,14 @@ func WriteCSV(w io.Writer, rows []Row) error {
 // indices — the poisoned cells of a collect-and-continue run, whose zero
 // rows would otherwise masquerade as measurements.
 func WriteCSVSkipping(w io.Writer, rows []Row, skip map[int]bool) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
-		return err
-	}
+	sw := NewCSVWriter(w)
 	for i, r := range rows {
 		if skip[i] {
 			continue
 		}
-		suite := "int"
-		if r.FP {
-			suite = "fp"
-		}
-		rec := []string{
-			r.Bench, suite, r.Policy.String(),
-			strconv.Itoa(r.IQSize), strconv.FormatBool(r.OutOfOrder),
-			fmt.Sprintf("%.4f", r.IPC),
-			fmt.Sprintf("%.6f", r.SDCAVF),
-			fmt.Sprintf("%.6f", r.DUEAVF),
-			fmt.Sprintf("%.6f", r.FalseDUEAVF),
-			fmt.Sprintf("%.4f", r.MeritSDC),
-			strconv.FormatUint(r.Squashes, 10),
-		}
-		if err := cw.Write(rec); err != nil {
+		if err := sw.WriteRow(r); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return sw.Flush()
 }

@@ -1,0 +1,40 @@
+// Httpget is a minimal HTTP client for shell scripts in containers that
+// ship no curl or wget: GET (one argument) or POST (URL plus body), the
+// response body to stdout, non-2xx statuses as a non-zero exit.
+//
+//	go run ./scripts/httpget URL [POST-BODY]
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		fmt.Fprintln(os.Stderr, "usage: httpget URL [POST-BODY]")
+		os.Exit(2)
+	}
+	var (
+		resp *http.Response
+		err  error
+	)
+	if len(os.Args) == 3 && os.Args[2] != "" {
+		resp, err = http.Post(os.Args[1], "application/json", strings.NewReader(os.Args[2]))
+	} else {
+		resp, err = http.Get(os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body)
+	if resp.StatusCode >= 300 {
+		fmt.Fprintln(os.Stderr, resp.Status)
+		os.Exit(1)
+	}
+}

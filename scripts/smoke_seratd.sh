@@ -1,0 +1,48 @@
+#!/bin/sh
+# Smoke test for the seratd daemon: boot it on an ephemeral port, check
+# /healthz answers ok, serve one cached evaluation, then SIGINT it and
+# require a clean drain (exit 0). Exercises the real binary and signal
+# path that the in-process httptest suite cannot.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/seratd" ./cmd/seratd
+"$workdir/seratd" -addr 127.0.0.1:0 -portfile "$workdir/port" \
+	-checkpoint "$workdir/ck" >"$workdir/log" 2>&1 &
+pid=$!
+
+# Wait for the daemon to publish its bound address.
+for i in $(seq 1 100); do
+	[ -s "$workdir/port" ] && break
+	kill -0 "$pid" 2>/dev/null || { cat "$workdir/log"; echo "seratd died" >&2; exit 1; }
+	sleep 0.1
+done
+[ -s "$workdir/port" ] || { echo "seratd never wrote -portfile" >&2; exit 1; }
+addr=$(cat "$workdir/port")
+
+fetch() { # fetch PATH [POST-BODY] — stdlib-only HTTP client, no curl needed
+	go run ./scripts/httpget "http://$addr$1" "${2:-}"
+}
+
+# Health, one eval miss, its byte-identical hit.
+fetch /healthz | grep -q '^ok$'
+body='{"experiment":"table1","benches":["gzip-graphic","ammp"],"commits":8000}'
+fetch /v1/eval "$body" >"$workdir/miss"
+fetch /v1/eval "$body" >"$workdir/hit"
+cmp "$workdir/miss" "$workdir/hit"
+grep -q 'no squashing' "$workdir/miss"
+
+# SIGINT must drain and exit 0.
+kill -INT "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -gt 300 ] && { cat "$workdir/log"; echo "seratd did not exit after SIGINT" >&2; exit 1; }
+	sleep 0.1
+done
+wait "$pid" || { cat "$workdir/log"; echo "seratd exited non-zero" >&2; exit 1; }
+grep -q 'drained' "$workdir/log"
+trap 'rm -rf "$workdir"' EXIT
+echo "seratd smoke: OK"

@@ -1,24 +1,32 @@
 #!/bin/sh
 # Repository verify recipe, in tiers:
-#   1. tier-1: build + full test suite (the gate every change must pass)
+#   1. format + tier-1: gofmt, build + full test suite (the gate every
+#      change must pass)
 #   2. race tier: the packages that run simulations concurrently, under the
-#      race detector (parallel engine, suite memo, sweep grid, fault fan-out)
+#      race detector (parallel engine, suite memo, sweep grid, fault
+#      fan-out, and the server's concurrent-load test)
 #   3. chaos tier: the resilience tests — injected panics, hangs and crashes
-#      driven through the par chaos hook, checkpoint/resume byte-identity —
-#      under the race detector, since failure paths exercise the locking the
-#      happy path never touches
-#   4. bench tier: a single-iteration run of the hot-loop benchmark so a
+#      driven through the par chaos hook, checkpoint/resume byte-identity,
+#      server overflow shedding and drain/resume — under the race detector,
+#      since failure paths exercise the locking the happy path never touches
+#   4. smoke tier: the real seratd binary booted on an ephemeral port,
+#      health-checked, served a cached eval and SIGINT-drained
+#   5. bench tier: a single-iteration run of the hot-loop benchmark so a
 #      broken harness fails verify; performance deltas are tracked with
 #      scripts/benchdiff.sh over full -benchtime runs
 set -eux
 
+fmtdirs="$(gofmt -l cmd internal examples scripts *.go)"
+[ -z "$fmtdirs" ] || { echo "gofmt needed: $fmtdirs" >&2; exit 1; }
+
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/par ./internal/core ./internal/sweep ./internal/fault
-go test -race -run 'Chaos|CrashResume|Resilien|Watchdog|Retry|Collect|Partial|Checkpoint|Resume' \
+go test -race ./internal/par ./internal/core ./internal/sweep ./internal/fault ./internal/server
+go test -race -run 'Chaos|CrashResume|Resilien|Watchdog|Retry|Collect|Partial|Checkpoint|Resume|Overflow|Drain|SingleFlight|Identity' \
 	./internal/par ./internal/checkpoint ./internal/fault ./internal/sweep \
-	./cmd/sweep ./cmd/sersim ./cmd/repro
+	./internal/server ./cmd/sweep ./cmd/sersim ./cmd/repro
+sh scripts/smoke_seratd.sh
 # bench tier: one iteration of the hot-loop benchmark, as a smoke test that
 # the benchmark harness still compiles and runs; compare real runs across
 # revisions with scripts/benchdiff.sh.
