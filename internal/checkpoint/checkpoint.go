@@ -14,9 +14,9 @@
 package checkpoint
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"math/bits"
 	"os"
 	"path/filepath"
@@ -24,8 +24,9 @@ import (
 )
 
 // Version is the snapshot format version; snapshots with a different
-// version are refused on load.
-const Version = 1
+// version are refused on load. Version 2 switched Fingerprint from 64-bit
+// FNV-1a to SHA-256, so every fingerprint embedded in a snapshot changed.
+const Version = 2
 
 // DefaultInterval is how many newly completed cells trigger an automatic
 // Save from Put.
@@ -65,9 +66,20 @@ func (b *Bitmap) Count() int {
 	return n
 }
 
-// valid checks the bitmap's internal consistency against a cell count.
+// valid checks the bitmap's internal consistency against a cell count:
+// right geometry and no set bits beyond N. A snapshot carrying marks past
+// the cell space would make CountDone exceed Total and resume would skip
+// cells it never ran, so such bitmaps are refused wholesale.
 func (b *Bitmap) valid(total int) bool {
-	return b != nil && b.N == total && len(b.Words) == (total+63)/64
+	if b == nil || b.N != total || len(b.Words) != (total+63)/64 {
+		return false
+	}
+	if tail := uint(total) & 63; tail != 0 {
+		if b.Words[len(b.Words)-1]&^(1<<tail-1) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // snapshot is the on-disk JSON layout.
@@ -305,13 +317,15 @@ func (f *File[T]) Remove() error {
 	return nil
 }
 
-// Fingerprint hashes a campaign's parameterisation into a short stable
-// string for snapshot validation. Pass every axis that changes the meaning
-// of a cell index or its result.
+// Fingerprint hashes a campaign's parameterisation into a stable content
+// address for snapshot validation and result caching. Pass every axis that
+// changes the meaning of a cell index or its result. The hash is SHA-256
+// (64 hex characters): the fingerprint addresses served artefacts, where a
+// 64-bit collision would silently serve the wrong bytes.
 func Fingerprint(parts ...any) string {
-	h := fnv.New64a()
+	h := sha256.New()
 	for _, p := range parts {
 		fmt.Fprintf(h, "%v\x00", p)
 	}
-	return fmt.Sprintf("%016x", h.Sum64())
+	return fmt.Sprintf("%x", h.Sum(nil))
 }

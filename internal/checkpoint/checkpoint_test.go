@@ -177,6 +177,9 @@ func TestFingerprintStability(t *testing.T) {
 	if a != Fingerprint("sweep", 1, true) {
 		t.Error("Fingerprint is not deterministic")
 	}
+	if len(a) != 64 || strings.Trim(a, "0123456789abcdef") != "" {
+		t.Errorf("Fingerprint %q is not a lowercase SHA-256 hex digest", a)
+	}
 	if a == Fingerprint("sweep", 1, false) {
 		t.Error("Fingerprint ignored a differing part")
 	}

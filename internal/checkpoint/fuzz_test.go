@@ -1,0 +1,89 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corruptTailBits is a snapshot whose bitmap claims 8 cells but carries a
+// full word of set bits: the geometry is self-consistent, yet 56 of the set
+// bits lie beyond N. Loading it must fail — accepting it yields
+// CountDone() > Total() and a resume that skips cells it never ran.
+func corruptTailBits() []byte {
+	return []byte(fmt.Sprintf(
+		`{"version":%d,"kind":"fuzz","fingerprint":"fp","done":{"n":8,"words":[18446744073709551615]},"cells":[0,0,0,0,0,0,0,0]}`,
+		Version))
+}
+
+// validSnapshot round-trips a real File so the corpus always contains one
+// loadable snapshot regardless of format version.
+func validSnapshot(t interface{ TempDir() string }) []byte {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seed.ckpt")
+	f := New[int](path, "fuzz", "fp", 8)
+	f.Put(3, 42)
+	if err := f.Save(); err != nil {
+		panic(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// TestLoadRejectsTailBits is the non-fuzz regression pin for the corrupt
+// bitmap above (the fuzzer found it; tier-1 keeps it found).
+func TestLoadRejectsTailBits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tail.ckpt")
+	if err := os.WriteFile(path, corruptTailBits(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load[int](path, "fuzz", "fp", 8)
+	if err == nil {
+		t.Fatalf("Load accepted a bitmap with set bits beyond N: CountDone=%d Total=%d",
+			f.CountDone(), f.Total())
+	}
+}
+
+// FuzzCheckpointLoad feeds arbitrary bytes through the snapshot loader: a
+// corrupted checkpoint must produce an error, never a panic and never a
+// silently-resumed File that violates its own accounting (done cells beyond
+// the cell space, counts above the total).
+func FuzzCheckpointLoad(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(fmt.Sprintf(`{"version":%d,"kind":"fuzz","fingerprint":"fp"}`, Version)))
+	f.Add([]byte(fmt.Sprintf(`{"version":%d,"kind":"fuzz","fingerprint":"fp","done":{"n":8,"words":[0]},"cells":[1,2,3,4,5,6,7,8]}`, Version)))
+	f.Add(corruptTailBits())
+	f.Add(validSnapshot(f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := Load[int](path, "fuzz", "fp", 8)
+		if err != nil {
+			return
+		}
+		if ck.Total() != 8 {
+			t.Fatalf("loaded checkpoint reports %d cells, want 8", ck.Total())
+		}
+		if n := ck.CountDone(); n < 0 || n > 8 {
+			t.Fatalf("loaded checkpoint reports %d done cells of 8", n)
+		}
+		for i := -1; i <= 8; i++ {
+			done := ck.Done(i)
+			_, ok := ck.Get(i)
+			if done != ok {
+				t.Fatalf("cell %d: Done=%v but Get ok=%v", i, done, ok)
+			}
+			if (i < 0 || i >= 8) && done {
+				t.Fatalf("out-of-range cell %d reported done", i)
+			}
+		}
+	})
+}

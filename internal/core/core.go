@@ -50,6 +50,19 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", uint8(p))
 }
 
+var policyFlags = [NumPolicies]string{
+	"baseline", "squash-l1", "squash-l0", "throttle-l1", "throttle-l0",
+}
+
+// Flag returns the policy's canonical flag/API vocabulary — the inverse of
+// ParsePolicy, so ParsePolicy(p.Flag()) == p for every valid policy.
+func (p Policy) Flag() string {
+	if int(p) < len(policyFlags) {
+		return policyFlags[p]
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
 // ParsePolicy resolves the flag/API vocabulary shared by cmd/sweep,
 // cmd/sersim and the evaluation service to a Policy.
 func ParsePolicy(s string) (Policy, error) {

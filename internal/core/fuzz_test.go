@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+// FuzzParsePolicy pins the flag-vocabulary parser: every accepted string
+// maps to an in-range policy whose String() form is itself accepted and
+// maps back to the same policy; everything else errors without panicking.
+func FuzzParsePolicy(f *testing.F) {
+	f.Add("baseline")
+	f.Add("none")
+	f.Add("squash-l1")
+	f.Add("squash-l0")
+	f.Add("throttle-l1")
+	f.Add("throttle-l0")
+	f.Add("SQUASH-L1")
+	f.Add("squash-l1 ")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return
+		}
+		if p < 0 || p >= NumPolicies {
+			t.Fatalf("ParsePolicy(%q) = %d, outside [0, %d)", s, p, NumPolicies)
+		}
+		back, err := ParsePolicy(p.Flag())
+		if err != nil {
+			t.Fatalf("canonical flag %q of parsed policy does not re-parse: %v", p.Flag(), err)
+		}
+		if back != p {
+			t.Fatalf("round-trip changed policy: %v -> %v", p, back)
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package invariant
+
+import (
+	"context"
+	"fmt"
+
+	"softerror/internal/core"
+	"softerror/internal/isa"
+	"softerror/internal/pipeline"
+	"softerror/internal/rng"
+)
+
+// ConservationSink is a pipeline.Sink that integrates raw occupancy per
+// structure and validates every interval's shape as it closes. Tee it onto
+// any run (core.Config.Sink) and compare its sums against the structures'
+// bit-cycle capacity: Weaver et al.'s AVF is a residency integral, so an
+// interval that escapes these bounds is a wrong number, not a style issue.
+type ConservationSink struct {
+	// IQOcc, FEOcc and SBOcc are Σ(Evict−Enq) per structure, in
+	// entry-cycles.
+	IQOcc, FEOcc, SBOcc uint64
+	// Commits counts OnCommit events.
+	Commits uint64
+	// Err records the first malformed interval observed (nil when all
+	// intervals were well-formed).
+	Err error
+}
+
+func (c *ConservationSink) interval(structure string, r pipeline.Residency) uint64 {
+	if c.Err == nil {
+		switch {
+		case r.Evict < r.Enq:
+			c.Err = fmt.Errorf("%s interval inverted: evict %d < enq %d (seq %d)",
+				structure, r.Evict, r.Enq, r.Inst.Seq)
+		case r.Issued && (r.Issue < r.Enq || r.Issue > r.Evict):
+			c.Err = fmt.Errorf("%s issue cycle %d outside residency [%d, %d] (seq %d)",
+				structure, r.Issue, r.Enq, r.Evict, r.Inst.Seq)
+		}
+	}
+	return r.Occupancy()
+}
+
+// OnResidency implements pipeline.Sink.
+func (c *ConservationSink) OnResidency(r pipeline.Residency) { c.IQOcc += c.interval("iq", r) }
+
+// OnFrontEnd implements pipeline.Sink.
+func (c *ConservationSink) OnFrontEnd(r pipeline.Residency) { c.FEOcc += c.interval("front-end", r) }
+
+// OnStoreBuffer implements pipeline.Sink.
+func (c *ConservationSink) OnStoreBuffer(r pipeline.Residency) {
+	c.SBOcc += c.interval("store-buffer", r)
+}
+
+// OnCommit implements pipeline.Sink.
+func (c *ConservationSink) OnCommit(in isa.Inst, enq, issue uint64) {
+	c.Commits++
+	if c.Err == nil && issue < enq {
+		c.Err = fmt.Errorf("commit of seq %d issued at %d before enqueue at %d", in.Seq, issue, enq)
+	}
+}
+
+// reportConserved checks one structure report's accounting: the bit-cycle
+// classes must partition capacity exactly, and every AVF must be a
+// probability.
+func reportConserved(name string, r *aceReport) error {
+	sum := r.IdleBC + r.NeverReadBC + r.ExACEBC + r.ACEBC + r.UnACETotalBC
+	if sum != r.TotalBC {
+		return fmt.Errorf("%s bit-cycle classes sum to %d, capacity is %d", name, sum, r.TotalBC)
+	}
+	for _, f := range []struct {
+		label string
+		v     float64
+	}{
+		{"sdc_avf", r.SDCAVF}, {"due_avf", r.DUEAVF}, {"false_due_avf", r.FalseDUEAVF},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("%s %s = %v, outside [0,1]", name, f.label, f.v)
+		}
+	}
+	if r.SDCAVF+r.FalseDUEAVF > 1+1e-12 {
+		return fmt.Errorf("%s ACE and un-ACE fractions overlap: %v + %v > 1",
+			name, r.SDCAVF, r.FalseDUEAVF)
+	}
+	return nil
+}
+
+// aceReport is the subset of ace.Report the conservation check audits,
+// flattened so both structure reports go through one validator.
+type aceReport struct {
+	TotalBC, IdleBC, NeverReadBC, ExACEBC, ACEBC, UnACETotalBC uint64
+	SDCAVF, DUEAVF, FalseDUEAVF                                float64
+}
+
+// checkResidencyConservation drives one random workload × machine
+// configuration and asserts, via a teed ConservationSink, that (1) every
+// interval is well-formed, (2) per-structure occupancy integrals fit within
+// cycles × entries, (3) the IQ's non-idle bit-cycles equal the occupancy
+// integral exactly (the classes partition occupancy, nothing more or less),
+// and (4) every derived AVF is a probability.
+func checkResidencyConservation(seed uint64, opt Options) error {
+	opt = opt.withDefaults()
+	s := rng.New(seed, 0x1A5E)
+	params := RandomWorkload(s)
+	cfg := RandomPipelineConfig(s)
+	sink := &ConservationSink{}
+	res, err := core.RunContext(context.Background(), core.Config{
+		Workload:    params,
+		Pipeline:    cfg,
+		Commits:     opt.Commits,
+		FrontEnd:    true,
+		StoreBuffer: true,
+		Sink:        sink,
+	})
+	if err != nil {
+		return fmt.Errorf("run: %w (cfg=%+v)", err, cfg)
+	}
+	if sink.Err != nil {
+		return sink.Err
+	}
+	if sink.Commits != res.Commits {
+		return fmt.Errorf("sink saw %d commits, run reports %d", sink.Commits, res.Commits)
+	}
+	// A degenerate run would pass every bound vacuously.
+	if res.Cycles == 0 || res.Commits < opt.Commits {
+		return fmt.Errorf("run made no progress: %d cycles, %d of %d commits",
+			res.Cycles, res.Commits, opt.Commits)
+	}
+
+	// Capacity: no structure can integrate more entry-cycles than it has.
+	for _, st := range []struct {
+		name    string
+		occ     uint64
+		entries int
+	}{
+		{"iq", sink.IQOcc, cfg.IQSize},
+		{"front-end", sink.FEOcc, cfg.FrontEndCap()},
+		{"store-buffer", sink.SBOcc, cfg.StoreBufferSize},
+	} {
+		if cap := res.Cycles * uint64(st.entries); st.occ > cap {
+			return fmt.Errorf("%s occupancy %d entry-cycles exceeds capacity %d (%d cycles × %d entries)",
+				st.name, st.occ, cap, res.Cycles, st.entries)
+		}
+	}
+
+	// The IQ charges every occupied cycle of every interval to exactly one
+	// class, so non-idle bit-cycles must equal the occupancy integral.
+	rep := res.Report
+	if nonIdle, want := rep.TotalBC()-rep.IdleBC, sink.IQOcc*uint64(rep.BitsPer); nonIdle != want {
+		return fmt.Errorf("iq non-idle bit-cycles %d != occupancy integral %d", nonIdle, want)
+	}
+	if err := reportConserved("iq", &aceReport{
+		TotalBC: rep.TotalBC(), IdleBC: rep.IdleBC, NeverReadBC: rep.NeverReadBC,
+		ExACEBC: rep.ExACEBC, ACEBC: rep.ACEBC, UnACETotalBC: rep.UnACETotalBC(),
+		SDCAVF: rep.SDCAVF(), DUEAVF: rep.DUEAVF(), FalseDUEAVF: rep.FalseDUEAVF(),
+	}); err != nil {
+		return err
+	}
+
+	// The front end reads at delivery (no linger), so its classified
+	// bit-cycles are bounded by — not equal to — the occupancy integral.
+	fe := res.FrontEndReport
+	if fe == nil {
+		return fmt.Errorf("front-end analysis missing from result")
+	}
+	if nonIdle, bound := fe.TotalBC()-fe.IdleBC, sink.FEOcc*uint64(fe.BitsPer); nonIdle > bound {
+		return fmt.Errorf("front-end non-idle bit-cycles %d exceed occupancy integral %d", nonIdle, bound)
+	}
+	if err := reportConserved("front-end", &aceReport{
+		TotalBC: fe.TotalBC(), IdleBC: fe.IdleBC, NeverReadBC: fe.NeverReadBC,
+		ExACEBC: fe.ExACEBC, ACEBC: fe.ACEBC, UnACETotalBC: fe.UnACETotalBC(),
+		SDCAVF: fe.SDCAVF(), DUEAVF: fe.DUEAVF(), FalseDUEAVF: fe.FalseDUEAVF(),
+	}); err != nil {
+		return err
+	}
+
+	if res.StoreBufferReport == nil {
+		return fmt.Errorf("store-buffer analysis missing from result")
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Package invariant is the property/metamorphic audit layer over the
+// simulation and serving stack. Every number the reproduction reports rests
+// on a handful of structural properties — AVF is a residency integral, so
+// residency conservation *is* correctness; the fast path, the streaming
+// collector, the parallel engine and the checkpoint machinery are all
+// claimed to be exact equivalences, not approximations. This package turns
+// each claim into a Check: a seeded, self-contained property test over
+// *randomised* configurations, usable from unit tests, fuzz harnesses and
+// the cmd/seraudit driver alike.
+//
+// Every Check is deterministic in its seed: a failure reported by seraudit
+// as "FAIL <name> seed=N" reproduces with the same seed from a test (see
+// README "Auditing"). Checks return errors rather than panicking, so a
+// driver can run the full suite and report every violation.
+package invariant
+
+import "fmt"
+
+// Options tunes how expensive each Check's run is. The zero value audits
+// at a laptop-friendly scale.
+type Options struct {
+	// Commits is the per-simulation commit budget (default 3000): long
+	// enough for queues to fill, squash paths to fire and the AVF
+	// integrals to accumulate structure, short enough to audit many seeds.
+	Commits uint64
+	// Workers is the fan-out used by the parallel-determinism checks
+	// (default 4). The identity under audit is "-j 1 ≡ -j N", so this is
+	// the N.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Commits == 0 {
+		o.Commits = 3000
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	return o
+}
+
+// Check is one auditable property. Run executes the property at the given
+// seed and returns nil when it holds. Distinct seeds draw distinct
+// configurations/workloads/request mixes, so sweeping seeds sweeps the
+// input space.
+type Check struct {
+	// Name is the stable identifier used by seraudit's -check filter and
+	// failure reports.
+	Name string
+	// Doc is the one-line statement of the property.
+	Doc string
+	// Run executes the property once.
+	Run func(seed uint64, opt Options) error
+}
+
+// All returns every registered check, in stable order: the simulation-layer
+// properties first (they underpin everything else), then the campaign-layer
+// equivalences, then the serving-layer contracts.
+func All() []Check {
+	return []Check{
+		{
+			Name: "residency-conservation",
+			Doc:  "per-structure occupancy sums fit cycles×entries and the bit-cycle classes partition capacity exactly",
+			Run:  checkResidencyConservation,
+		},
+		{
+			Name: "trace-differential",
+			Doc:  "event-horizon fast path and single-step interpreter produce identical traces on random configurations",
+			Run:  checkTraceDifferential,
+		},
+		{
+			Name: "stream-batch",
+			Doc:  "streaming ace.Collector reports equal batch trace analysis exactly, on one shared run",
+			Run:  checkStreamBatch,
+		},
+		{
+			Name: "parallel-determinism",
+			Doc:  "a random sweep grid renders byte-identical CSV at -j 1 and -j N",
+			Run:  checkParallelDeterminism,
+		},
+		{
+			Name: "checkpoint-resume",
+			Doc:  "a grid cancelled mid-run and resumed from its checkpoint renders bytes identical to an uninterrupted run",
+			Run:  checkCheckpointResume,
+		},
+		{
+			Name: "fingerprint-injectivity",
+			Doc:  "distinct normalised eval requests never share a content address; spelled-out defaults share one with the implicit form",
+			Run:  checkFingerprintInjectivity,
+		},
+		{
+			Name: "cache-concurrency",
+			Doc:  "concurrent mixed hit/miss eval load returns byte-identical bodies per request spec",
+			Run:  checkCacheConcurrency,
+		},
+		{
+			Name: "job-lifecycle",
+			Doc:  "job event streams are dense in Seq, monotonic in done, terminal exactly once and replay identically",
+			Run:  checkJobLifecycle,
+		},
+	}
+}
+
+// Find returns the check with the given name.
+func Find(name string) (Check, error) {
+	for _, c := range All() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Check{}, fmt.Errorf("invariant: unknown check %q", name)
+}

@@ -1,0 +1,250 @@
+package invariant
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+
+	"softerror/internal/core"
+	"softerror/internal/rng"
+	"softerror/internal/server"
+	"softerror/internal/spec"
+)
+
+// checkFingerprintInjectivity audits the eval content-address over a
+// seed-drawn family of pairwise-distinct normalised requests: no two may
+// share a fingerprint (a collision silently serves the wrong artefact), and
+// a request spelling out the documented defaults must share one with the
+// implicit form (or the cache stores the same bytes twice).
+func checkFingerprintInjectivity(seed uint64, opt Options) error {
+	s := rng.New(seed, 0xF1A6)
+	all := spec.All()
+	b1 := all[s.Intn(len(all))].Name
+	b2 := all[s.Intn(len(all))].Name
+	for b2 == b1 {
+		b2 = all[s.Intn(len(all))].Name
+	}
+	base := uint64(1000 + s.Intn(9000))
+	scalar := 1 + s.Intn(1000)
+
+	var reqs []server.EvalRequest
+	for _, exp := range []string{"table1", "table2", "breakdown", "fig2", "fig3", "fig4", "ablation", "regfile", "outcomes", "simpoints", "all"} {
+		reqs = append(reqs, server.EvalRequest{Experiment: exp})
+	}
+	for i := uint64(0); i < 6; i++ {
+		reqs = append(reqs, server.EvalRequest{Experiment: "table1", Commits: base + 500*i})
+	}
+	reqs = append(reqs,
+		server.EvalRequest{Experiment: "table1", CSV: true},
+		server.EvalRequest{Experiment: "table1", Benches: []string{b1}},
+		server.EvalRequest{Experiment: "table1", Benches: []string{b2}},
+		server.EvalRequest{Experiment: "table1", Benches: []string{b1, b2}},
+		// The same scalar moving between knobs must move the address.
+		server.EvalRequest{Experiment: "outcomes", Strikes: scalar},
+		server.EvalRequest{Experiment: "outcomes", Seed: uint64(scalar)},
+		server.EvalRequest{Experiment: "fig3", PET: scalar},
+		server.EvalRequest{Experiment: "fig3", SimPoints: scalar},
+	)
+
+	seen := make(map[string]int)
+	for i, r := range reqs {
+		fp, err := r.Fingerprint()
+		if err != nil {
+			return fmt.Errorf("request %d (%+v): %w", i, r, err)
+		}
+		if len(fp) != 64 || strings.Trim(fp, "0123456789abcdef") != "" {
+			return fmt.Errorf("fingerprint %q is not a SHA-256 hex digest", fp)
+		}
+		if j, dup := seen[fp]; dup {
+			return fmt.Errorf("distinct requests share fingerprint %s:\n  %+v\n  %+v", fp, reqs[j], reqs[i])
+		}
+		seen[fp] = i
+	}
+
+	implicit := server.EvalRequest{Experiment: "table1"}
+	explicit := server.EvalRequest{
+		Experiment: "table1", Commits: core.DefaultCommits, PET: 512,
+		RawFIT: 0.001, SimPoints: 4, Strikes: 50_000, Seed: 1,
+	}
+	a, err := implicit.Fingerprint()
+	if err != nil {
+		return err
+	}
+	b, err := explicit.Fingerprint()
+	if err != nil {
+		return err
+	}
+	if a != b {
+		return fmt.Errorf("spelled-out defaults address %s, implicit form %s — the cache would store the same bytes twice", b, a)
+	}
+	return nil
+}
+
+// post runs one POST against the in-process server and returns the
+// recorded response.
+func post(s *server.Server, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// checkCacheConcurrency hammers /v1/eval with concurrent mixed hit/miss
+// load over seed-drawn request specs and demands byte-identity: whichever
+// goroutine computes, whichever hits cache, the body for one spec is one
+// exact byte string, and X-Cache only ever says hit or miss.
+func checkCacheConcurrency(seed uint64, opt Options) error {
+	opt = opt.withDefaults()
+	s := rng.New(seed, 0xCA4E)
+	srv := server.New(server.Config{Workers: 1, MaxEvals: 64, CacheBytes: 8 << 20})
+	defer srv.Close()
+
+	bench := spec.All()[s.Intn(len(spec.All()))].Name
+	specs := []string{
+		`{"experiment":"table2"}`, // pure table: hits the cache path with no simulation
+		fmt.Sprintf(`{"experiment":"table1","benches":[%q],"commits":%d}`, bench, opt.Commits),
+		fmt.Sprintf(`{"experiment":"table1","benches":[%q],"commits":%d,"csv":true}`, bench, opt.Commits),
+	}
+
+	const perSpec = 6
+	type reply struct {
+		spec   int
+		status int
+		xcache string
+		body   string
+	}
+	replies := make([]reply, len(specs)*perSpec)
+	var wg sync.WaitGroup
+	for si, body := range specs {
+		for k := 0; k < perSpec; k++ {
+			wg.Add(1)
+			go func(i int, reqBody string) {
+				defer wg.Done()
+				rec := post(srv, "/v1/eval", reqBody)
+				replies[i] = reply{
+					spec:   i / perSpec,
+					status: rec.Code,
+					xcache: rec.Header().Get("X-Cache"),
+					body:   rec.Body.String(),
+				}
+			}(si*perSpec+k, body)
+		}
+	}
+	wg.Wait()
+
+	bodies := make(map[int]string)
+	for _, r := range replies {
+		if r.status != http.StatusOK {
+			return fmt.Errorf("spec %d returned %d: %s", r.spec, r.status, r.body)
+		}
+		if r.xcache != "hit" && r.xcache != "miss" {
+			return fmt.Errorf("spec %d returned X-Cache %q", r.spec, r.xcache)
+		}
+		if prev, ok := bodies[r.spec]; !ok {
+			bodies[r.spec] = r.body
+		} else if prev != r.body {
+			return fmt.Errorf("spec %d served two different bodies under concurrent load (%d vs %d bytes)",
+				r.spec, len(prev), len(r.body))
+		}
+	}
+	// Distinct specs must not alias to one body either.
+	if bodies[1] == bodies[2] {
+		return fmt.Errorf("table and CSV forms of the same eval served identical bytes")
+	}
+	return nil
+}
+
+// eventStream fetches a job's full ndjson event stream. The handler only
+// returns once the job is terminal, so this also acts as the wait.
+func eventStream(s *server.Server, id string) ([]server.Event, []byte, error) {
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id+"/events", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, nil, fmt.Errorf("events endpoint returned %d: %s", rec.Code, rec.Body.String())
+	}
+	raw := rec.Body.Bytes()
+	var events []server.Event
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		var ev server.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, nil, fmt.Errorf("bad event line %q: %w", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	return events, raw, sc.Err()
+}
+
+// checkJobLifecycle submits a seed-drawn sweep job and audits its event
+// stream: Seq dense from zero, done monotonic and bounded by total, exactly
+// one terminal event and it is last, and a replayed stream is byte-identical
+// (the log is immutable once terminal).
+func checkJobLifecycle(seed uint64, opt Options) error {
+	opt = opt.withDefaults()
+	s := rng.New(seed, 0x10BF)
+	srv := server.New(server.Config{Workers: 1, MaxJobs: 2})
+	defer srv.Close()
+
+	bench := spec.All()[s.Intn(len(spec.All()))].Name
+	policies := []string{`"baseline"`, `"baseline","squash-l1"`}[s.Intn(2)]
+	body := fmt.Sprintf(`{"benches":[%q],"policies":[%s],"commits":%d}`, bench, policies, opt.Commits)
+	rec := post(srv, "/v1/sweep", body)
+	if rec.Code != http.StatusAccepted {
+		return fmt.Errorf("sweep submission returned %d: %s", rec.Code, rec.Body.String())
+	}
+	var acc struct {
+		ID    string `json:"id"`
+		Total int    `json:"total"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &acc); err != nil {
+		return err
+	}
+
+	events, raw, err := eventStream(srv, acc.ID)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("job %s produced no events", acc.ID)
+	}
+	lastDone := 0
+	for i, ev := range events {
+		if ev.Seq != i {
+			return fmt.Errorf("event %d has seq %d — the stream is not dense", i, ev.Seq)
+		}
+		if ev.Done < lastDone {
+			return fmt.Errorf("done regressed %d -> %d at event %d", lastDone, ev.Done, i)
+		}
+		lastDone = ev.Done
+		if ev.Done > ev.Total || ev.Total != acc.Total {
+			return fmt.Errorf("event %d reports %d/%d done of an accepted total %d", i, ev.Done, ev.Total, acc.Total)
+		}
+		if terminal := ev.State == server.JobDone || ev.State == server.JobFailed ||
+			ev.State == server.JobInterrupted; terminal != (i == len(events)-1) {
+			return fmt.Errorf("terminal state %q at event %d of %d", ev.State, i, len(events))
+		}
+	}
+	if events[0].State != server.JobQueued {
+		return fmt.Errorf("stream opens in state %q, want queued", events[0].State)
+	}
+	if final := events[len(events)-1]; final.State != server.JobDone || final.Done != acc.Total {
+		return fmt.Errorf("final event %+v, want done with all %d cells", final, acc.Total)
+	}
+
+	replayed, rawAgain, err := eventStream(srv, acc.ID)
+	if err != nil {
+		return err
+	}
+	if len(replayed) != len(events) || !bytes.Equal(raw, rawAgain) {
+		return fmt.Errorf("replayed event stream differs from the live one (%d vs %d events)",
+			len(events), len(replayed))
+	}
+	return nil
+}

@@ -1,4 +1,4 @@
-package pipeline
+package pipeline_test
 
 import (
 	"fmt"
@@ -7,59 +7,16 @@ import (
 	"testing"
 
 	"softerror/internal/cache"
+	"softerror/internal/invariant"
+	"softerror/internal/pipeline"
 	"softerror/internal/rng"
 	"softerror/internal/workload"
 )
 
-// randomParams draws a valid workload profile from across the parameter
-// space, including corners the Table-2 roster never visits.
-func randomParams(s *rng.Stream) workload.Params {
-	p := workload.Default()
-	p.Seed = s.Uint64()
-	p.LoadFrac = 0.05 + 0.2*s.Float64()
-	p.StoreFrac = 0.02 + 0.1*s.Float64()
-	p.FPFrac = 0.15 * s.Float64()
-	p.NopFrac = 0.35 * s.Float64()
-	p.PrefetchFrac = 0.05 * s.Float64()
-	p.MispredictRate = 0.15 * s.Float64()
-	p.CallFrac = 0.03 * s.Float64()
-	p.PredicatedFrac = 0.3 * s.Float64()
-	p.PredFalseProb = s.Float64()
-	p.FDDRegFrac = 0.06 * s.Float64()
-	p.TDDRegFrac = 0.04 * s.Float64()
-	p.FDDMemFrac = 0.03 * s.Float64()
-	p.DeadLocalFrac = s.Float64()
-	p.MissBurstiness = s.Float64()
-	p.L0Frac = 0.9 + 0.09*s.Float64()
-	rest := 1 - p.L0Frac
-	p.L1Frac = rest * 0.6
-	p.L2Frac = rest * 0.3
-	p.MemFrac = rest * 0.1
-	p.FetchBubbleProb = 0.5 * s.Float64()
-	p.FetchBubbleMean = 1 + s.Intn(8)
-	p.MeanBlockLen = 3 + s.Intn(15)
-	p.MeanCalleeLen = 10 + s.Intn(150)
-	p.DepDistance = 1 + s.Intn(12)
-	p.LoadUseDistance = s.Intn(25)
-	return p
-}
-
-func randomConfig(s *rng.Stream) Config {
-	cfg := DefaultConfig()
-	cfg.FetchWidth = 1 + s.Intn(8)
-	cfg.IssueWidth = 1 + s.Intn(8)
-	cfg.IQSize = 8 << s.Intn(5) // 8..128
-	cfg.FrontEndDepth = 1 + s.Intn(12)
-	cfg.BranchResolveLatency = 1 + s.Intn(6)
-	cfg.ReplayWindow = s.Intn(10)
-	cfg.StoreBufferSize = 2 + s.Intn(30)
-	cfg.StoreDrainLatency = 1 + s.Intn(12)
-	cfg.RefetchOverlap = s.Intn(cfg.FrontEndDepth + 1)
-	cfg.SquashTrigger = Trigger(s.Intn(3))
-	cfg.ThrottleTrigger = Trigger(s.Intn(3))
-	cfg.OutOfOrder = s.Bool(0.3)
-	return cfg
-}
+// Random workload and machine draws come from internal/invariant, the
+// shared audit layer, so these tests, the invariant checks, and cmd/seraudit
+// all explore the same configuration space and a seed reported by any one
+// of them reproduces in the others.
 
 // TestRandomisedConfigurations drives the pipeline across random workload ×
 // machine configurations and checks the structural invariants every run
@@ -69,8 +26,8 @@ func TestRandomisedConfigurations(t *testing.T) {
 	s := rng.New(0xF00D, 99)
 	const trials = 30
 	for trial := 0; trial < trials; trial++ {
-		params := randomParams(s)
-		cfg := randomConfig(s)
+		params := invariant.RandomWorkload(s)
+		cfg := invariant.RandomPipelineConfig(s)
 		if err := params.Validate(); err != nil {
 			t.Fatalf("trial %d: generated invalid params: %v", trial, err)
 		}
@@ -80,7 +37,7 @@ func TestRandomisedConfigurations(t *testing.T) {
 		gen := workload.MustNew(params)
 		mem := cache.MustNewDefault()
 		workload.WarmCaches(mem)
-		p := MustNew(cfg, gen, mem)
+		p := pipeline.MustNew(cfg, gen, mem)
 		tr := p.Run(4000, true)
 
 		if tr.Commits < 4000 {
@@ -159,7 +116,7 @@ func TestRandomisedKernels(t *testing.T) {
 		}
 		mem := cache.MustNewDefault()
 		workload.WarmCaches(mem)
-		tr := MustNew(DefaultConfig(), src, mem).Run(2000, true)
+		tr := pipeline.MustNew(pipeline.DefaultConfig(), src, mem).Run(2000, true)
 		if tr.Commits < 2000 {
 			t.Fatalf("trial %d: kernel stalled", trial)
 		}
@@ -168,12 +125,12 @@ func TestRandomisedKernels(t *testing.T) {
 
 // runTraced runs one pipeline built from (params, cfg) on a freshly warmed
 // default hierarchy and returns the recorded trace.
-func runTraced(t *testing.T, cfg Config, params workload.Params, commits uint64) *Trace {
+func runTraced(t *testing.T, cfg pipeline.Config, params workload.Params, commits uint64) *pipeline.Trace {
 	t.Helper()
 	gen := workload.MustNew(params)
 	mem := cache.MustNewDefault()
 	workload.WarmCaches(mem)
-	return MustNew(cfg, gen, mem).Run(commits, true)
+	return pipeline.MustNew(cfg, gen, mem).Run(commits, true)
 }
 
 // TestCycleSkipDifferential cross-validates the event-horizon fast path
@@ -185,8 +142,8 @@ func TestCycleSkipDifferential(t *testing.T) {
 	s := rng.New(0x5C1F, 17)
 	const trials = 15
 	for trial := 0; trial < trials; trial++ {
-		params := randomParams(s)
-		cfg := randomConfig(s)
+		params := invariant.RandomWorkload(s)
+		cfg := invariant.RandomPipelineConfig(s)
 		// Narrow queues on a third of trials: capacity-limited regimes are
 		// where a wrong horizon would first show as a shifted eviction.
 		if trial%3 == 0 {
@@ -226,9 +183,9 @@ func TestCycleSkipDifferentialWorstStaller(t *testing.T) {
 	params.FetchBubbleMean = 6
 	params.LoadUseDistance = 1
 
-	cfg := DefaultConfig()
-	cfg.SquashTrigger = TriggerL0Miss
-	cfg.ThrottleTrigger = TriggerL0Miss
+	cfg := pipeline.DefaultConfig()
+	cfg.SquashTrigger = pipeline.TriggerL0Miss
+	cfg.ThrottleTrigger = pipeline.TriggerL0Miss
 	cfg.IQSize = 8
 	cfg.StoreBufferSize = 2
 	cfg.FetchWidth = 1

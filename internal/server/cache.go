@@ -64,7 +64,7 @@ func (c *Cache) Get(key string) (body []byte, ctype string, ok bool) {
 // until the byte budget holds. Bodies larger than the whole budget are not
 // cached at all.
 func (c *Cache) Put(key, ctype string, body []byte) {
-	if int64(len(body)) > c.max {
+	if c.max <= 0 || int64(len(body)) > c.max {
 		return
 	}
 	c.mu.Lock()

@@ -1,0 +1,28 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCacheDisabledDropsEveryPut pins the NewCache contract: maxBytes <= 0
+// disables caching entirely. Before the fix, zero-length bodies slipped the
+// size check at max == 0 and grew items unboundedly.
+func TestCacheDisabledDropsEveryPut(t *testing.T) {
+	for _, max := range []int64{0, -1} {
+		c := NewCache(max)
+		for i := 0; i < 100; i++ {
+			c.Put(fmt.Sprintf("key-%d", i), "text/plain", nil)
+			c.Put(fmt.Sprintf("body-%d", i), "text/plain", []byte("payload"))
+		}
+		if n := c.Len(); n != 0 {
+			t.Fatalf("disabled cache (max=%d) holds %d entries, want 0", max, n)
+		}
+		if b := c.Bytes(); b != 0 {
+			t.Fatalf("disabled cache (max=%d) holds %d bytes, want 0", max, b)
+		}
+		if _, _, ok := c.Get("key-0"); ok {
+			t.Fatalf("disabled cache (max=%d) served a hit", max)
+		}
+	}
+}

@@ -3,7 +3,10 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"sync"
 
 	"softerror/internal/checkpoint"
@@ -39,6 +42,30 @@ type EvalRequest struct {
 	CSV bool `json:"csv,omitempty"`
 }
 
+// decodeEvalRequest parses a /v1/eval body, refusing unknown fields so a
+// typo'd knob cannot silently fall back to its default.
+func decodeEvalRequest(r io.Reader) (EvalRequest, error) {
+	var req EvalRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return EvalRequest{}, err
+	}
+	return req, nil
+}
+
+// Fingerprint returns the request's content address — the cache key its
+// response is stored under — after normalisation, or the normalisation
+// error for an invalid request. Exposed so the invariant layer can audit
+// injectivity over the same addresses the server serves by.
+func (r *EvalRequest) Fingerprint() (string, error) {
+	e, err := r.normalize()
+	if err != nil {
+		return "", err
+	}
+	return e.fingerprint(), nil
+}
+
 // evalSpec is a normalised, validated request: defaults applied, roster
 // resolved to canonical benchmarks. Two requests that normalise equally
 // are the same content address.
@@ -70,6 +97,18 @@ func (r *EvalRequest) normalize() (evalSpec, error) {
 	if !experiments.Valid(e.experiment) {
 		return evalSpec{}, fmt.Errorf("unknown experiment %q (known: %v and \"all\")",
 			e.experiment, experiments.Names())
+	}
+	// Every numeric knob is a count or a rate: negatives and non-finite
+	// rates are refused here rather than fed to the engine.
+	switch {
+	case e.pet < 0:
+		return evalSpec{}, fmt.Errorf("pet must be non-negative, got %d", e.pet)
+	case e.simPoints < 0:
+		return evalSpec{}, fmt.Errorf("simpoints must be non-negative, got %d", e.simPoints)
+	case e.strikes < 0:
+		return evalSpec{}, fmt.Errorf("strikes must be non-negative, got %d", e.strikes)
+	case e.rawFIT < 0 || math.IsNaN(e.rawFIT) || math.IsInf(e.rawFIT, 0):
+		return evalSpec{}, fmt.Errorf("rawfit must be a finite non-negative rate, got %v", e.rawFIT)
 	}
 	var err error
 	if e.benches, err = spec.ParseList(joinNames(r.Benches)); err != nil {

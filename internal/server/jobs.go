@@ -86,9 +86,18 @@ func newJob(id, fingerprint string, total int) *Job {
 }
 
 // record appends an event and wakes every stream listener. Callers must
-// not hold j.mu.
+// not hold j.mu. Terminal states are absorbing: a progress callback from a
+// sweep worker that was mid-cell when drain finished the job must not
+// resurrect it, and done never regresses below a published count.
 func (j *Job) record(state JobState, done int, errMsg string) {
 	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	if done < j.done {
+		done = j.done
+	}
 	j.state = state
 	j.done = done
 	if errMsg != "" {

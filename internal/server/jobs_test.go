@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// snapshotEvents copies the job's event log for inspection.
+func snapshotEvents(j *Job) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.events...)
+}
+
+// checkEventStream asserts the invariants every job event log must satisfy:
+// Seq dense from 0, Done nondecreasing, at most one terminal event, and the
+// terminal event (when present) last.
+func checkEventStream(t *testing.T, events []Event) {
+	t.Helper()
+	lastDone := 0
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d (log %+v)", i, ev.Seq, events)
+		}
+		if ev.Done < lastDone {
+			t.Fatalf("done regressed %d -> %d at event %d (log %+v)", lastDone, ev.Done, i, events)
+		}
+		lastDone = ev.Done
+		if ev.State.terminal() && i != len(events)-1 {
+			t.Fatalf("terminal event %q at %d is not last of %d (log %+v)",
+				ev.State, i, len(events), events)
+		}
+	}
+}
+
+// TestJobRecordAfterDrainStaysTerminal is the terminal-state regression
+// test: a progress callback firing after drain has interrupted the job (the
+// sweep worker was mid-cell when jobsCtx was cancelled) must not resurrect
+// the job to running, append events past the terminal one, or regress done.
+func TestJobRecordAfterDrainStaysTerminal(t *testing.T) {
+	j := newJob("job-000001", "fp", 4)
+	j.start()
+	j.progress(1)
+	j.finish(JobInterrupted, nil, nil, "ck.ckpt", errors.New("interrupted by drain"))
+	n := len(snapshotEvents(j))
+
+	// The straggling worker reports its cell after the drain finished us.
+	j.progress(2)
+	j.start()
+
+	if st := j.State(); st != JobInterrupted {
+		t.Fatalf("job left terminal state: %q", st)
+	}
+	events := snapshotEvents(j)
+	if len(events) != n {
+		t.Fatalf("events recorded after the terminal one: %+v", events[n:])
+	}
+	checkEventStream(t, events)
+	if st := j.Status(); st.State != JobInterrupted || st.Checkpoint != "ck.ckpt" {
+		t.Fatalf("status after straggler = %+v, want interrupted with checkpoint", st)
+	}
+}
+
+// TestJobProgressDrainRace races progress callbacks against finish, as a
+// drain does against in-flight sweep workers; under -race this doubles as
+// the locking test. Whatever the interleaving, the job must end exactly
+// once, stay terminal, and keep its event stream monotonic.
+func TestJobProgressDrainRace(t *testing.T) {
+	for iter := 0; iter < 100; iter++ {
+		j := newJob("job-000001", "fp", 10)
+		j.start()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for done := 1; done <= 10; done++ {
+				j.progress(done)
+			}
+		}()
+		j.finish(JobInterrupted, nil, nil, "", errors.New("interrupted by drain"))
+		wg.Wait()
+
+		if st := j.State(); st != JobInterrupted {
+			t.Fatalf("iter %d: job ended %q, want interrupted", iter, st)
+		}
+		events := snapshotEvents(j)
+		checkEventStream(t, events)
+		if last := events[len(events)-1]; last.State != JobInterrupted {
+			t.Fatalf("iter %d: last event %+v, want interrupted", iter, last)
+		}
+	}
+}
+
+// TestJobDoneMonotonicAcrossFinish: finish must not report a done count
+// below the one a progress event already published.
+func TestJobDoneMonotonicAcrossFinish(t *testing.T) {
+	j := newJob("job-000001", "fp", 4)
+	j.start()
+	j.progress(3)
+	j.finish(JobDone, nil, nil, "", nil)
+	events := snapshotEvents(j)
+	checkEventStream(t, events)
+	if last := events[len(events)-1]; last.Done != 3 {
+		t.Fatalf("terminal event done = %d, want 3", last.Done)
+	}
+}
+
+// TestJobNextReplaysAcrossTerminal pins the stream-replay contract: every
+// recorded event, including the terminal one, is served by index to a late
+// subscriber, and reading past the end blocks until the context expires
+// instead of fabricating events.
+func TestJobNextReplaysAcrossTerminal(t *testing.T) {
+	j := newJob("job-000001", "fp", 2)
+	j.start()
+	j.progress(1)
+	j.progress(2)
+	j.finish(JobDone, nil, nil, "", nil)
+
+	want := snapshotEvents(j)
+	ctx := context.Background()
+	for i := range want {
+		ev, ok := j.next(ctx, i)
+		if !ok {
+			t.Fatalf("next(%d) refused a recorded event", i)
+		}
+		if ev != want[i] {
+			t.Fatalf("next(%d) = %+v, want %+v", i, ev, want[i])
+		}
+	}
+	if !want[len(want)-1].State.terminal() {
+		t.Fatalf("last replayed event %+v is not terminal", want[len(want)-1])
+	}
+
+	// Past the end of a finished job there is nothing to wait for: the read
+	// must block until the caller gives up, not invent an event.
+	tctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if ev, ok := j.next(tctx, len(want)); ok {
+		t.Fatalf("next past terminal returned %+v", ev)
+	}
+}

@@ -1,0 +1,60 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseList drives arbitrary strings through the roster parser. A
+// successful parse must yield only roster benchmarks, an empty/blank list
+// must mean the full roster, and re-joining the parsed names must
+// round-trip to the identical roster (the parse is canonicalising only in
+// whitespace, never in membership or order).
+func FuzzParseList(f *testing.F) {
+	f.Add("")
+	f.Add("   ")
+	f.Add("gzip-graphic")
+	f.Add("gzip-graphic, ammp ,mcf")
+	f.Add("gzip-graphic,gzip-graphic")
+	f.Add("not-a-benchmark")
+	f.Add("gzip-graphic,,ammp")
+	f.Add("GZIP-GRAPHIC")
+	f.Add(strings.Join(Names(), ","))
+
+	f.Fuzz(func(t *testing.T, list string) {
+		benches, err := ParseList(list)
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(list) == "" {
+			if len(benches) != len(All()) {
+				t.Fatalf("blank list %q parsed to %d benchmarks, want full roster of %d",
+					list, len(benches), len(All()))
+			}
+			return
+		}
+		names := make([]string, len(benches))
+		for i, b := range benches {
+			got, ok := ByName(b.Name)
+			if !ok {
+				t.Fatalf("ParseList(%q) returned %q, which ByName does not know", list, b.Name)
+			}
+			if got != b {
+				t.Fatalf("ParseList(%q) entry %q differs from the roster's", list, b.Name)
+			}
+			names[i] = b.Name
+		}
+		again, err := ParseList(strings.Join(names, ","))
+		if err != nil {
+			t.Fatalf("re-joined list %q failed to parse: %v", strings.Join(names, ","), err)
+		}
+		if len(again) != len(benches) {
+			t.Fatalf("round-trip changed roster length %d -> %d", len(benches), len(again))
+		}
+		for i := range again {
+			if again[i] != benches[i] {
+				t.Fatalf("round-trip changed entry %d: %q -> %q", i, benches[i].Name, again[i].Name)
+			}
+		}
+	})
+}

@@ -9,9 +9,13 @@
 #      driven through the par chaos hook, checkpoint/resume byte-identity,
 #      server overflow shedding and drain/resume — under the race detector,
 #      since failure paths exercise the locking the happy path never touches
-#   4. smoke tier: the real seratd binary booted on an ephemeral port,
+#   4. audit tier: cmd/seraudit -quick under the race detector — every
+#      invariant check (conservation, differential oracles, server
+#      properties) over a small seed sweep; plus a short go-native fuzz
+#      pass over each harness (skip with SERA_SKIP_FUZZ=1 when iterating)
+#   5. smoke tier: the real seratd binary booted on an ephemeral port,
 #      health-checked, served a cached eval and SIGINT-drained
-#   5. bench tier: a single-iteration run of the hot-loop benchmark so a
+#   6. bench tier: a single-iteration run of the hot-loop benchmark so a
 #      broken harness fails verify; performance deltas are tracked with
 #      scripts/benchdiff.sh over full -benchtime runs
 set -eux
@@ -26,6 +30,13 @@ go test -race ./internal/par ./internal/core ./internal/sweep ./internal/fault .
 go test -race -run 'Chaos|CrashResume|Resilien|Watchdog|Retry|Collect|Partial|Checkpoint|Resume|Overflow|Drain|SingleFlight|Identity' \
 	./internal/par ./internal/checkpoint ./internal/fault ./internal/sweep \
 	./internal/server ./cmd/sweep ./cmd/sersim ./cmd/repro
+go run -race ./cmd/seraudit -quick
+if [ -z "${SERA_SKIP_FUZZ:-}" ]; then
+	go test -run NONE -fuzz FuzzParseList -fuzztime 10s ./internal/spec
+	go test -run NONE -fuzz FuzzParsePolicy -fuzztime 10s ./internal/core
+	go test -run NONE -fuzz FuzzCheckpointLoad -fuzztime 10s ./internal/checkpoint
+	go test -run NONE -fuzz FuzzEvalRequest -fuzztime 10s ./internal/server
+fi
 sh scripts/smoke_seratd.sh
 # bench tier: one iteration of the hot-loop benchmark, as a smoke test that
 # the benchmark harness still compiles and runs; compare real runs across
