@@ -108,6 +108,86 @@ func BenchmarkPipelineHotLoop(b *testing.B) {
 	b.Run("fastforward-stream", func(b *testing.B) { run(b, false, false) })
 }
 
+// BenchmarkBatchedSweep measures the batched evaluation path on the
+// paper's squash-heaviest point: one sweep column (mcf under squash-on-L1,
+// eight IQ/store-buffer variants) evaluated per-cell — one full simulation
+// per configuration, the pre-batching sweep loop — and batched — one
+// decode of the instruction stream feeding all eight compact lanes
+// (core.RunBatchContext). Both paths produce byte-identical Results (the
+// batched-independent seraudit check pins this); only the cost differs.
+// Reports simulated Mcycles/s summed across the column and the wall-clock
+// speedup.
+func BenchmarkBatchedSweep(b *testing.B) {
+	bench, ok := spec.ByName("mcf")
+	if !ok {
+		b.Fatal("mcf missing from roster")
+	}
+	specs := batchedSweepColumn()
+	const commits = 60_000
+
+	var perCell, batched time.Duration
+	run := func(b *testing.B, f func() uint64) {
+		b.ReportAllocs()
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			cycles += f()
+		}
+		b.ReportMetric(float64(cycles)/1e6/b.Elapsed().Seconds(), "Mcycles/s")
+	}
+	b.Run("per-cell", func(b *testing.B) {
+		run(b, func() uint64 {
+			start := time.Now()
+			var cycles uint64
+			for _, sp := range specs {
+				res, err := core.RunContext(context.Background(), core.Config{
+					Workload: bench.Params, Pipeline: sp.Pipeline, Commits: commits,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			perCell += time.Since(start)
+			return cycles
+		})
+	})
+	b.Run("batched", func(b *testing.B) {
+		run(b, func() uint64 {
+			start := time.Now()
+			results, err := core.RunBatchContext(context.Background(), bench.Params, commits, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles uint64
+			for _, res := range results {
+				cycles += res.Cycles
+			}
+			batched += time.Since(start)
+			return cycles
+		})
+	})
+	if perCell > 0 && batched > 0 {
+		fmt.Printf("\nBatchedSweep: %d-config column, per-cell %v vs batched %v: %.2fx\n",
+			len(specs), perCell, batched, perCell.Seconds()/batched.Seconds())
+	}
+}
+
+// batchedSweepColumn is the shared-workload column BenchmarkBatchedSweep
+// evaluates: squash-on-L1 with the IQ and store-buffer depths swept.
+func batchedSweepColumn() []core.BatchSpec {
+	var specs []core.BatchSpec
+	for _, iq := range []int{16, 32, 64, 128} {
+		for _, sb := range []int{4, 8, 16, 32} {
+			cfg := pipeline.DefaultConfig()
+			cfg.SquashTrigger = pipeline.TriggerL1Miss
+			cfg.IQSize = iq
+			cfg.StoreBufferSize = sb
+			specs = append(specs, core.BatchSpec{Pipeline: cfg})
+		}
+	}
+	return specs
+}
+
 // BenchmarkPrewarmCellAllocs measures the allocation footprint of one
 // evaluation cell — the unit Suite.Prewarm fans out 26×3 of — on the
 // streaming path the suite now uses versus materialising the trace first.

@@ -1,0 +1,363 @@
+package ace
+
+import (
+	"fmt"
+	"slices"
+
+	"softerror/internal/isa"
+	"softerror/internal/pipeline"
+)
+
+// This file is the analysis half of the batched evaluation path. A
+// BatchGroup owns the per-stream work every variant shares — chiefly the
+// deadness classification of the commit log, which is Seq-value-independent
+// and so identical across variants that committed the same number of body
+// instructions. A BatchCollector is one lane's pipeline.BatchSink: it keys
+// every deferred charge by body index instead of sequence number, which
+// both skips instruction reconstruction on the hot path and turns Finish's
+// per-event binary searches into direct indexing. All charges flow through
+// the same Report.addRead/addNeverRead/SBReport.add helpers as the solo
+// Collector, so the finished reports are byte-identical to K independent
+// runs — the batched-independent seraudit check pins exactly that.
+
+// bodyPrefixer is the optional fast path for obtaining the shared commit
+// log as a slice; workload.Shared implements it.
+type bodyPrefixer interface {
+	BodyPrefix(m int) []isa.Inst
+}
+
+// BatchGroup shares one decoded stream's analyses across the lanes of a
+// batch. Not safe for concurrent use: one group serves one batch.
+type BatchGroup struct {
+	src  pipeline.BatchSource
+	dead map[int]*Deadness
+}
+
+// NewBatchGroup wraps the batch's shared stream.
+func NewBatchGroup(src pipeline.BatchSource) *BatchGroup {
+	return &BatchGroup{src: src, dead: make(map[int]*Deadness)}
+}
+
+// commitLog returns the first m body instructions as a slice — the shared
+// stand-in for any lane's commit log (deadness and the per-commit fields
+// are Seq-value-independent). The workload.Shared fast path aliases the
+// generator's memo; the fallback copies through the interface.
+func (g *BatchGroup) commitLog(m int) []isa.Inst {
+	if p, ok := g.src.(bodyPrefixer); ok {
+		return p.BodyPrefix(m)
+	}
+	log := make([]isa.Inst, m)
+	for i := range log {
+		log[i] = *g.src.Body(i)
+	}
+	return log
+}
+
+// deadness returns the memoised classification of the first m body
+// instructions. Lanes overshoot their commit target by at most
+// IssueWidth-1, so a batch sees only a handful of distinct m values and
+// the analysis runs once per value instead of once per lane.
+func (g *BatchGroup) deadness(m int) *Deadness {
+	if d, ok := g.dead[m]; ok {
+		return d
+	}
+	d := AnalyzeDeadness(g.commitLog(m))
+	g.dead[m] = d
+	return d
+}
+
+// viewFor returns one lane's Deadness: the shared classification with the
+// lane's relabeled sequence numbers. Categories, counts and FDD distance
+// populations alias the shared analysis (they are read-only downstream);
+// the seqs slice is the lane's own, so OfSeq resolves lane coordinates.
+func (g *BatchGroup) viewFor(m int, seqs []uint64) *Deadness {
+	d := *g.deadness(m)
+	d.seqs = seqs
+	return &d
+}
+
+// batchPendingRead defers one front-end read charge to Finish, keyed by
+// body index (the solo Collector keys by Seq and binary-searches later).
+type batchPendingRead struct {
+	body int
+	wait uint64
+}
+
+type batchPendingOcc struct {
+	body int
+	occ  uint64
+}
+
+// BatchCollector folds one lane's compact events into ACE reports. It is
+// the BatchSink counterpart of Collector: same charges, same helpers, no
+// isa.Inst reconstruction anywhere on the event path.
+// commitRec is one body position's deferred IQ charge: the lane's
+// relabeled Seq, the pre-issue wait, and the post-issue linger, packed into
+// one cache line's worth so the three per-commit writes touch one array.
+type commitRec struct {
+	seq, wait, linger uint64
+}
+
+type BatchCollector struct {
+	cfg   CollectorConfig
+	group *BatchGroup
+
+	recs    []commitRec // indexed by body position; zero value = no commit yet
+	bits    []uint64    // committed-body bitmap, parallel to recs
+	n       int         // one past the highest committed body index
+	commits int         // total commits; == n iff [0, n) is hole-free
+
+	iq Report
+	fe Report
+	sb SBReport
+
+	// Wrong-path IQ residencies aggregate during the run (addRead is
+	// linear, so summed buckets settle exactly); index is dest<<1 | control.
+	wrongIQ [4]struct{ wait, linger uint64 }
+
+	fePending []batchPendingRead
+	sbPending []batchPendingOcc
+}
+
+// NewBatchCollector builds one lane's collector over the batch's shared
+// group. The RegFile analysis needs per-commit cycle retention that the
+// batched path does not carry; request it through the solo path.
+func NewBatchCollector(cfg CollectorConfig, group *BatchGroup) (*BatchCollector, error) {
+	if cfg.RegFile {
+		return nil, fmt.Errorf("ace: the RegFile analysis is not available on the batched path")
+	}
+	c := &BatchCollector{cfg: cfg, group: group}
+	// A lane overshoots its commit target by at most IssueWidth-1 commits
+	// (one final multi-issue cycle); the slack keeps the last commits from
+	// hitting the grow path.
+	c.recs = make([]commitRec, cfg.Commits+16)
+	c.bits = make([]uint64, (len(c.recs)+63)/64)
+	return c, nil
+}
+
+// BatchCommit implements pipeline.BatchSink. Out-of-order lanes commit in
+// dataflow order, so charges are placed by body index; every body index
+// below the final commit count commits exactly once, making the array
+// dense by Finish (pre-zeroed gaps are overwritten when their commit
+// arrives).
+func (c *BatchCollector) BatchCommit(ref pipeline.BatchRef, seq, enq, issue uint64) {
+	body := ref.Body()
+	if body >= len(c.recs) {
+		c.recs = append(c.recs, make([]commitRec, body+16-len(c.recs))...)
+		c.bits = append(c.bits, make([]uint64, (len(c.recs)+63)/64-len(c.bits))...)
+	}
+	c.recs[body].seq = seq
+	c.recs[body].wait = issue - enq
+	c.bits[body>>6] |= 1 << (uint(body) & 63)
+	c.commits++
+	if body >= c.n {
+		c.n = body + 1
+	}
+}
+
+// BatchResidency implements pipeline.BatchSink: one closed IQ interval.
+func (c *BatchCollector) BatchResidency(ref pipeline.BatchRef, seq, enq, issue, evict uint64, issued, squashed bool) {
+	if evict <= enq {
+		return
+	}
+	occ := evict - enq
+	if !issued {
+		c.iq.addNeverRead(occ)
+		return
+	}
+	wait := issue - enq
+	linger := evict - issue
+	if ref.Wrong() {
+		t := c.group.src.Wrong(int(seq) - ref.Body())
+		key := 0
+		if t.Dest != isa.RegNone {
+			key += 2
+		}
+		if t.Class.IsControl() {
+			key++
+		}
+		c.wrongIQ[key].wait += wait
+		c.wrongIQ[key].linger += linger
+		return
+	}
+	// Correct path: the commit event always precedes the eviction (evict
+	// runs before issue within a cycle, so an entry issued at cycle t
+	// closes its interval at t+1 or later), so the body's record exists and
+	// the linger parks next to the wait for one fused addRead in Finish.
+	// addRead charges linger category-independently (ExACEBC only), so the
+	// fused call is bit-identical to the solo Collector's split charges.
+	if body := ref.Body(); body < c.n {
+		c.recs[body].linger += linger
+	} else {
+		c.iq.addRead(0, linger, CatACE, false, false)
+	}
+}
+
+// BatchFrontEnd implements pipeline.BatchSink: one closed fetch-buffer
+// interval.
+func (c *BatchCollector) BatchFrontEnd(ref pipeline.BatchRef, seq, fetched, until uint64, delivered bool) {
+	if !c.cfg.FrontEnd {
+		return
+	}
+	if until <= fetched {
+		return
+	}
+	wait := until - fetched
+	if !delivered {
+		c.fe.addNeverRead(wait)
+		return
+	}
+	if ref.Wrong() {
+		t := c.group.src.Wrong(int(seq) - ref.Body())
+		c.fe.addRead(wait, 0, CatWrongPath, t.Dest != isa.RegNone, t.Class.IsControl())
+		return
+	}
+	c.fePending = append(c.fePending, batchPendingRead{body: ref.Body(), wait: wait})
+}
+
+// BatchStoreBuffer implements pipeline.BatchSink: one drained (or run-end
+// clipped) store-buffer interval.
+func (c *BatchCollector) BatchStoreBuffer(ref pipeline.BatchRef, seq, enq, evict uint64) {
+	if !c.cfg.StoreBuffer {
+		return
+	}
+	if evict <= enq {
+		return
+	}
+	c.sbPending = append(c.sbPending, batchPendingOcc{body: ref.Body(), occ: evict - enq})
+}
+
+// Finish settles every deferred charge against the group's shared deadness
+// and returns the lane's reports. cycles is the lane's Stats.Cycles. The
+// collector must not receive further events.
+func (c *BatchCollector) Finish(cycles uint64) *Reports {
+	// The committed set is usually the dense body prefix [0, c.n), which
+	// shares the group's memoised deadness. An out-of-order lane, though,
+	// can stop mid dataflow window with younger bodies committed while
+	// older ones are still in flight; the analysis must then run over
+	// exactly the committed sub-log — the solo Collector's log — with the
+	// holes excluded, so the lane pays for a private AnalyzeDeadness.
+	m := c.n
+	var (
+		dead   *Deadness
+		cats   []Category
+		log    []isa.Inst
+		bodies []int // ascending committed body indices; nil when dense
+	)
+	// Every body commits at most once, so c.commits == m proves the
+	// committed set is exactly the dense prefix [0, m).
+	if c.commits == m {
+		seqs := make([]uint64, m)
+		for i := range seqs {
+			seqs[i] = c.recs[i].seq
+		}
+		dead = c.group.viewFor(m, seqs)
+		cats = dead.cats
+		log = c.group.commitLog(m)
+	} else {
+		prefix := c.group.commitLog(m)
+		bodies = make([]int, 0, c.commits)
+		seqs := make([]uint64, 0, c.commits)
+		log = make([]isa.Inst, 0, c.commits)
+		for i := 0; i < m; i++ {
+			if c.bits[i>>6]>>(uint(i)&63)&1 == 1 {
+				bodies = append(bodies, i)
+				seqs = append(seqs, c.recs[i].seq)
+				log = append(log, prefix[i])
+			}
+		}
+		dead = AnalyzeDeadness(log)
+		dead.seqs = seqs // relabel to lane coordinates, as viewFor does
+		cats = dead.cats
+	}
+	// subIdx maps a body index to its position in log/cats, or -1 when the
+	// body never committed — the batched equivalent of an OfSeq miss.
+	subIdx := func(body int) int {
+		if bodies == nil {
+			if body < m {
+				return body
+			}
+			return -1
+		}
+		if j, ok := slices.BinarySearch(bodies, body); ok {
+			return j
+		}
+		return -1
+	}
+
+	// addRead is linear in wait and linger (every charge is wait*k or
+	// linger*k for a constant k determined by the category and flags), so
+	// the per-commit charges aggregate exactly: sum per (category, dest,
+	// control) bucket, then fold each bucket through addRead once.
+	var agg [NumCategories * 4]struct{ wait, linger uint64 }
+	for i := range log {
+		in := &log[i]
+		r := &c.recs[i]
+		if bodies != nil {
+			r = &c.recs[bodies[i]]
+		}
+		key := int(cats[i]) * 4
+		if in.Dest != isa.RegNone {
+			key += 2
+		}
+		if in.Class.IsControl() {
+			key++
+		}
+		agg[key].wait += r.wait
+		agg[key].linger += r.linger
+	}
+	for key, a := range agg {
+		if a.wait == 0 && a.linger == 0 {
+			continue
+		}
+		c.iq.addRead(a.wait, a.linger, Category(key/4), key&2 != 0, key&1 != 0)
+	}
+	for key, a := range c.wrongIQ {
+		if a.wait == 0 && a.linger == 0 {
+			continue
+		}
+		c.iq.addRead(a.wait, a.linger, CatWrongPath, key&2 != 0, key&1 != 0)
+	}
+	c.iq.Cycles = cycles
+	c.iq.Entries = c.cfg.IQSize
+	c.iq.BitsPer = isa.EntryPayloadBits
+	c.iq.Dead = dead
+	c.iq.finalize()
+	out := &Reports{IQ: &c.iq, Dead: dead}
+
+	if c.cfg.FrontEnd {
+		for i := range c.fePending {
+			p := &c.fePending[i]
+			var in *isa.Inst
+			cat := CatACE // in flight at run end: conservatively live
+			if j := subIdx(p.body); j >= 0 {
+				cat = cats[j]
+				in = &log[j]
+			} else {
+				in = c.group.src.Body(p.body)
+			}
+			c.fe.addRead(p.wait, 0, cat, in.Dest != isa.RegNone, in.Class.IsControl())
+		}
+		c.fe.Cycles = cycles
+		c.fe.Entries = c.cfg.FrontEndCap
+		c.fe.BitsPer = isa.EntryPayloadBits
+		c.fe.Dead = dead
+		c.fe.finalize()
+		out.FrontEnd = &c.fe
+	}
+	if c.cfg.StoreBuffer {
+		for i := range c.sbPending {
+			p := &c.sbPending[i]
+			cat := CatACE
+			if j := subIdx(p.body); j >= 0 {
+				cat = cats[j]
+			}
+			c.sb.add(p.occ, cat)
+		}
+		c.sb.Cycles = cycles
+		c.sb.Entries = c.cfg.StoreBufferCap
+		c.sb.finalize()
+		out.StoreBuffer = &c.sb
+	}
+	return out
+}

@@ -94,10 +94,14 @@ type Collector struct {
 func NewCollector(cfg CollectorConfig) *Collector {
 	c := &Collector{cfg: cfg}
 	if cfg.Commits > 0 {
-		c.log = make([]isa.Inst, 0, cfg.Commits)
-		c.waits = make([]uint64, 0, cfg.Commits)
+		// A run overshoots its commit target by up to IssueWidth-1 commits
+		// (the final multi-issue cycle retires whole); the slack keeps the
+		// very last appends from reallocating the whole log.
+		n := cfg.Commits + 16
+		c.log = make([]isa.Inst, 0, n)
+		c.waits = make([]uint64, 0, n)
 		if cfg.RegFile {
-			c.commitCycles = make([]uint64, 0, cfg.Commits)
+			c.commitCycles = make([]uint64, 0, n)
 		}
 	}
 	return c

@@ -134,6 +134,10 @@ func Load[T any](path, kind, fingerprint string, total int) (*File[T], error) {
 		return nil, fmt.Errorf("checkpoint: parse %s: %w", path, err)
 	}
 	switch {
+	case s.Version == 1:
+		// v1 snapshots embed FNV-1a fingerprints, so no v2 fingerprint can
+		// ever match one; name the migration rather than the bare numbers.
+		return nil, fmt.Errorf("checkpoint: %s uses checkpoint format v1, need v2 (fingerprints moved to SHA-256, so v1 progress cannot be validated); re-run without -resume to start fresh", path)
 	case s.Version != Version:
 		return nil, fmt.Errorf("checkpoint: %s has format version %d, want %d", path, s.Version, Version)
 	case s.Kind != kind:

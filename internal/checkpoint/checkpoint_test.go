@@ -64,6 +64,35 @@ func TestLoadRefusesMismatches(t *testing.T) {
 	}
 }
 
+// TestLoadExplainsV1Snapshots pins the migration message: a v1 snapshot
+// (FNV-1a fingerprints) cannot be validated against v2 state, and the error
+// must say what to do about it, not just cite two numbers.
+func TestLoadExplainsV1Snapshots(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	v1 := `{"version":1,"kind":"sweep","fingerprint":"cafebabe12345678","done":{"n":4,"words":[0]},"cells":[0,0,0,0]}`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load[int](path, "sweep", Fingerprint("a"), 4)
+	if err == nil {
+		t.Fatal("Load accepted a v1 snapshot")
+	}
+	for _, want := range []string{"checkpoint format v1, need v2", "re-run without -resume"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("v1 error %q does not mention %q", err, want)
+		}
+	}
+	// Any other stale version still gets the generic refusal.
+	v7 := strings.Replace(v1, `"version":1`, `"version":7`, 1)
+	if err := os.WriteFile(path, []byte(v7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load[int](path, "sweep", Fingerprint("a"), 4)
+	if err == nil || !strings.Contains(err.Error(), "format version 7, want 2") {
+		t.Errorf("v7 error = %v, want the generic version mismatch", err)
+	}
+}
+
 func TestOpenRefusesClobberButResumes(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "camp.ckpt")
 	fp := Fingerprint("x")

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"softerror/internal/ace"
+	"softerror/internal/cache"
+	"softerror/internal/pipeline"
+	"softerror/internal/workload"
+)
+
+// BatchSpec is one lane of a batched evaluation: a pipeline configuration
+// plus the lane's optional extra analyses. The RegFile analysis is not
+// available on the batched path (it needs per-commit cycle retention only
+// the solo Collector carries); route such runs through RunContext.
+type BatchSpec struct {
+	Pipeline    pipeline.Config
+	FrontEnd    bool
+	StoreBuffer bool
+}
+
+// RunBatchContext evaluates K configuration variants over one decode of
+// the workload's instruction stream: one generator pass, one deadness
+// analysis per realised commit-log length, K compact pipeline lanes. Each
+// returned Result is byte-identical to RunContext under the same spec —
+// the batched-independent seraudit check pins this.
+//
+// Workloads whose stream cannot be shared (PC-indexed branch predictors)
+// fail with an error wrapping workload.ErrUnshareable; callers fall back
+// to per-spec RunContext. Caches are always pre-warmed (the batched path
+// serves sweeps and suites, which never skip warming).
+func RunBatchContext(ctx context.Context, w workload.Params, commits uint64, specs []BatchSpec) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	if commits == 0 {
+		commits = DefaultCommits
+	}
+	sh, err := workload.NewShared(w)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-size the shared memos: every lane walks ~commits body
+	// instructions (plus a small overshoot), and wrong-path draws run a
+	// fraction of that. One up-front reservation replaces the log2(commits)
+	// append-doublings the memos would otherwise pay.
+	sh.Reserve(int(commits)+1024, int(commits)/4+256)
+	group := ace.NewBatchGroup(sh)
+
+	// Warm one hierarchy and clone it per lane: Clone is bit-identical to
+	// replaying the warm-up (pinned by the cache clone tests), and a memcpy
+	// of the warm state is far cheaper than re-simulating it K times.
+	warm := workload.WarmedDefault()
+
+	zero := pipeline.Config{}
+	cfgs := make([]pipeline.Config, len(specs))
+	mems := make([]*cache.Hierarchy, len(specs))
+	sinks := make([]pipeline.BatchSink, len(specs))
+	colls := make([]*ace.BatchCollector, len(specs))
+	for i, sp := range specs {
+		cfg := sp.Pipeline
+		if cfg == zero {
+			cfg = pipeline.DefaultConfig()
+		}
+		cfgs[i] = cfg
+		if i == 0 {
+			mems[i] = warm
+		} else {
+			mems[i] = warm.Clone()
+		}
+		ccfg := ace.StructureConfig(cfg, commits)
+		ccfg.FrontEnd, ccfg.StoreBuffer = sp.FrontEnd, sp.StoreBuffer
+		coll, err := ace.NewBatchCollector(ccfg, group)
+		if err != nil {
+			return nil, err
+		}
+		colls[i] = coll
+		sinks[i] = coll
+	}
+
+	stats, err := pipeline.RunBatchStream(ctx, commits, sh, cfgs, mems, sinks)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*Result, len(specs))
+	for i := range specs {
+		st := stats[i]
+		reps := colls[i].Finish(st.Cycles)
+		simCycles.Add(st.Cycles)
+		out[i] = &Result{
+			Name:              w.Name,
+			IPC:               st.IPC(),
+			Report:            reps.IQ,
+			Cycles:            st.Cycles,
+			Commits:           st.Commits,
+			Squashes:          st.Squashes,
+			Refetches:         st.Refetches,
+			ThrottleEvents:    st.ThrottleEvents,
+			LoadMissRateL0:    st.LoadMissRate(cache.LevelL0),
+			LoadMissRateL1:    st.LoadMissRate(cache.LevelL1),
+			FrontEndReport:    reps.FrontEnd,
+			StoreBufferReport: reps.StoreBuffer,
+		}
+	}
+	return out, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"softerror/internal/pipeline"
 	"softerror/internal/serate"
 	"softerror/internal/spec"
+	"softerror/internal/workload"
 )
 
 // Suite evaluates a benchmark roster under multiple policies, memoising
@@ -134,23 +136,94 @@ func AllPolicies() []Policy {
 	return pols
 }
 
-// Prewarm simulates every (benchmark, policy) cell of the cross product in
-// parallel on the suite's worker pool, so that subsequent driver loops run
-// entirely from the memo. Passing no policies prewarms all of them. Cells
-// already simulated cost nothing; concurrent Prewarms dedupe through the
-// single-flight memo. The first simulation error cancels outstanding work.
+// Prewarm simulates every (benchmark, policy) cell of the cross product,
+// one batched evaluation per benchmark: all requested policies share one
+// decode of the benchmark's instruction stream (core.RunBatchContext), and
+// the benchmarks fan out over the worker pool. Subsequent driver loops
+// then run entirely from the memo. Passing no policies prewarms all of
+// them. Cells already simulated cost nothing; concurrent Prewarms dedupe
+// through the single-flight memo — a batch claims only unclaimed cells and
+// awaits the rest. The first simulation error cancels outstanding work.
 func (s *Suite) Prewarm(policies ...Policy) error {
 	if len(policies) == 0 {
 		policies = AllPolicies()
 	}
-	cells := len(s.Benches) * len(policies)
-	return par.ForEach(s.ctx(), cells, s.Workers,
+	return par.ForEach(s.ctx(), len(s.Benches), s.Workers,
 		func(_ context.Context, i int) error {
-			b := s.Benches[i/len(policies)]
-			pol := policies[i%len(policies)]
-			_, err := s.Result(b, pol)
-			return err
+			return s.prewarmBench(s.Benches[i], policies)
 		})
+}
+
+// prewarmBench fills one benchmark's memo cells: it claims every cell no
+// other caller holds, runs the claimed set as one batch, then waits on (and
+// propagates errors from) the remaining cells.
+func (s *Suite) prewarmBench(b spec.Benchmark, policies []Policy) error {
+	var claimed []Policy
+	var cells []*suiteCell
+	s.mu.Lock()
+	for _, pol := range policies {
+		key := suiteKey{name: b.Name, pol: pol}
+		if _, ok := s.results[key]; ok {
+			continue
+		}
+		cell := &suiteCell{done: make(chan struct{})}
+		s.results[key] = cell
+		claimed = append(claimed, pol)
+		cells = append(cells, cell)
+	}
+	s.mu.Unlock()
+
+	if len(claimed) > 0 {
+		results, err := s.simulateBatch(b, claimed)
+		for i, cell := range cells {
+			if err != nil {
+				cell.err = err
+			} else {
+				cell.res = results[i]
+			}
+			close(cell.done)
+		}
+	}
+	var first error
+	for _, pol := range policies {
+		if _, err := s.Result(b, pol); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// simulateBatch runs one benchmark's policy set through the batched
+// evaluation path — or, for workloads whose stream cannot be shared,
+// through per-policy solo runs. Either way each result is byte-identical
+// to what simulate would have produced.
+func (s *Suite) simulateBatch(b spec.Benchmark, pols []Policy) ([]*Result, error) {
+	specs := make([]BatchSpec, len(pols))
+	for i, pol := range pols {
+		cfg := pipeline.DefaultConfig()
+		pol.Apply(&cfg)
+		specs[i] = BatchSpec{Pipeline: cfg}
+	}
+	results, err := RunBatchContext(s.ctx(), b.Params, s.Commits, specs)
+	if err == nil {
+		s.sims.Add(uint64(len(pols)))
+		for _, r := range results {
+			r.Report.Dead.Compact()
+		}
+		return results, nil
+	}
+	if !errors.Is(err, workload.ErrUnshareable) {
+		return nil, fmt.Errorf("core: %s batched prewarm: %w", b.Name, err)
+	}
+	results = make([]*Result, len(pols))
+	for i, pol := range pols {
+		r, err := s.simulate(b, pol)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return results, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -74,6 +74,11 @@ func All() []Check {
 			Run:  checkStreamBatch,
 		},
 		{
+			Name: "batched-independent",
+			Doc:  "batched K-config evaluation equals K independent single-config runs, reports byte-identical",
+			Run:  checkBatchedIndependent,
+		},
+		{
 			Name: "parallel-determinism",
 			Doc:  "a random sweep grid renders byte-identical CSV at -j 1 and -j N",
 			Run:  checkParallelDeterminism,

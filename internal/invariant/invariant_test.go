@@ -30,7 +30,7 @@ func TestAllChecksHold(t *testing.T) {
 func TestCheckNamesStable(t *testing.T) {
 	want := []string{
 		"residency-conservation", "trace-differential", "stream-batch",
-		"parallel-determinism", "checkpoint-resume",
+		"batched-independent", "parallel-determinism", "checkpoint-resume",
 		"fingerprint-injectivity", "cache-concurrency", "job-lifecycle",
 	}
 	got := All()

@@ -1,0 +1,935 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"softerror/internal/cache"
+	"softerror/internal/isa"
+)
+
+// This file is the batched evaluation path: RunBatch drives K configuration
+// variants through ONE decode of the generated instruction stream. The solo
+// engine (pipeline.go) pulls instructions from a Source and stores full
+// isa.Inst copies in its queues; each lane here instead stores a compact
+// (BatchRef, Seq) pair into struct-of-arrays ring buffers and reads
+// instruction content through the shared BatchSource memo, so K variants
+// share one generation pass and one L2-resident body window. The engines
+// are kept behaviourally identical phase by phase — the batched-independent
+// seraudit check pins byte-identical reports against K solo runs.
+
+// BatchSource is a decoded-once instruction stream shared by every lane of
+// a batch: Body(n) is the n-th correct-path instruction of the
+// un-interleaved stream (Seq n, pure correct-path PC), Wrong(j) the content
+// of the j-th wrong-path draw. workload.Shared implements it. Returned
+// pointers are valid until the next call extends the memo.
+type BatchSource interface {
+	Body(n int) *isa.Inst
+	Wrong(j int) *isa.Inst
+}
+
+// ErrBatchSingleStep rejects SingleStep configurations from batches: the
+// batch engine is the fast path, and mixing single-stepped and
+// fast-forwarded variants in one pass would tie every lane to the slowest
+// discipline. Run SingleStep configs through RunStream.
+var ErrBatchSingleStep = errors.New("pipeline: SingleStep configurations cannot join a batch")
+
+// BatchRef locates one fetched instruction within a shared stream: the
+// correct-path body cursor n, plus a flag marking wrong-path fetches. The
+// fetch-order sequence number is carried alongside, and together they
+// reconstruct the exact instruction the solo engine would have fetched:
+// a lane that has drawn w wrong-path instructions before body position n
+// holds Seq n+w, so w (or the wrong-path ordinal j) is Seq minus the body
+// cursor.
+type BatchRef uint32
+
+const wrongRef BatchRef = 1 << 31
+
+func bodyRef(n int) BatchRef   { return BatchRef(n) }
+func wrongAt(n int) BatchRef   { return BatchRef(n) | wrongRef }
+func (r BatchRef) Wrong() bool { return r&wrongRef != 0 }
+func (r BatchRef) Body() int   { return int(r &^ wrongRef) }
+
+// Inst reconstructs the instruction a solo pipeline would have fetched at
+// this reference with the given sequence number: the shared-stream content
+// relabeled into the lane's coordinate system (Seq, PC shifted by 4 per
+// preceding wrong-path fetch, wrong-path call depth from the preceding
+// body instruction). FetchBubble is zero — the bubble is charged at fetch
+// and never visible in a recorded event.
+func (r BatchRef) Inst(src BatchSource, seq uint64) isa.Inst {
+	n := r.Body()
+	if r.Wrong() {
+		j := int(seq) - n
+		in := *src.Wrong(j)
+		in.Seq = seq
+		in.PC = src.Body(n).PC + 4*uint64(j)
+		if n > 0 {
+			in.CallDepth = src.Body(n - 1).CallDepth
+		}
+		return in
+	}
+	in := *src.Body(n)
+	in.Seq = seq
+	in.PC += 4 * (seq - uint64(n))
+	in.FetchBubble = 0
+	return in
+}
+
+// BatchSink receives one lane's events in compact form — the (ref, seq)
+// pair instead of a materialised isa.Inst — so an index-aware collector
+// (ace.BatchCollector) can skip reconstruction entirely. Cycle fields
+// carry exactly what the corresponding Sink callback would: commits report
+// (enq, issue); residencies the full interval; front-end intervals end at
+// `until` with delivered marking decode reads; store-buffer intervals
+// drain (or clip) at evict.
+type BatchSink interface {
+	BatchCommit(ref BatchRef, seq, enq, issue uint64)
+	BatchResidency(ref BatchRef, seq, enq, issue, evict uint64, issued, squashed bool)
+	BatchFrontEnd(ref BatchRef, seq, fetched, until uint64, delivered bool)
+	BatchStoreBuffer(ref BatchRef, seq, enq, evict uint64)
+}
+
+// sinkAdapter lifts a plain Sink to a BatchSink by reconstructing each
+// event's instruction from the shared stream.
+type sinkAdapter struct {
+	src BatchSource
+	s   Sink
+}
+
+func (a *sinkAdapter) BatchCommit(ref BatchRef, seq, enq, issue uint64) {
+	a.s.OnCommit(ref.Inst(a.src, seq), enq, issue)
+}
+
+func (a *sinkAdapter) BatchResidency(ref BatchRef, seq, enq, issue, evict uint64, issued, squashed bool) {
+	a.s.OnResidency(Residency{
+		Inst: ref.Inst(a.src, seq), Enq: enq, Evict: evict,
+		Issued: issued, Issue: issue, Squashed: squashed,
+	})
+}
+
+func (a *sinkAdapter) BatchFrontEnd(ref BatchRef, seq, fetched, until uint64, delivered bool) {
+	a.s.OnFrontEnd(Residency{
+		Inst: ref.Inst(a.src, seq), Enq: fetched, Evict: until,
+		Issued: delivered, Issue: until, Squashed: !delivered,
+	})
+}
+
+func (a *sinkAdapter) BatchStoreBuffer(ref BatchRef, seq, enq, evict uint64) {
+	a.s.OnStoreBuffer(Residency{
+		Inst: ref.Inst(a.src, seq), Enq: enq, Evict: evict,
+		Issued: true, Issue: evict,
+	})
+}
+
+// Compact queue entries: ~3× smaller than their solo counterparts, which
+// carry a full isa.Inst each. Content is read back through the BatchSource.
+type biqEntry struct {
+	enq     uint64
+	issue   uint64
+	evictAt uint64
+	seq     uint64
+	in      *isa.Inst // correct-path content; nil for wrong-path entries
+	ref     BatchRef
+	issued  bool
+}
+
+type bfeEntry struct {
+	fetched uint64
+	readyAt uint64
+	seq     uint64
+	in      *isa.Inst // correct-path content; nil for wrong-path entries
+	ref     BatchRef
+}
+
+type bsbEntry struct {
+	addr    uint64
+	enq     uint64
+	drainAt uint64
+	seq     uint64
+	ref     BatchRef
+}
+
+// bodySlicer is the optional bulk accessor of a BatchSource:
+// workload.Shared implements it, letting lanes index the memoised body
+// slice directly instead of calling Body per lookup.
+type bodySlicer interface {
+	BodyPrefix(m int) []isa.Inst
+}
+
+// bodyAhead is how far past a missing index a lane's snapshot extends:
+// large enough to amortise the interface call, small enough that the tail
+// over-generation after the last commit stays negligible.
+const bodyAhead = 512
+
+// inst returns body instruction n, through the snapshot on the hot path.
+func (ln *batchLane) inst(n int) *isa.Inst {
+	if n < len(ln.body) {
+		return &ln.body[n]
+	}
+	return ln.instSlow(n)
+}
+
+func (ln *batchLane) instSlow(n int) *isa.Inst {
+	if ln.slicer == nil {
+		return ln.src.Body(n)
+	}
+	ln.body = ln.slicer.BodyPrefix(n + bodyAhead)
+	return &ln.body[n]
+}
+
+// streamRef is a queued refetch victim (or the parked pending fetch).
+type streamRef struct {
+	seq uint64
+	ref BatchRef
+}
+
+// ring is a fixed-capacity FIFO over a preallocated buffer. The solo
+// engine compacts its queues by copying the tail down on every head
+// removal; lanes instead advance a head index, so steady-state dequeues
+// are O(1) and the backing slab never moves.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (r *ring[T]) at(i int) *T {
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return &r.buf[j]
+}
+
+func (r *ring[T]) push(v T) {
+	j := r.head + r.n
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	r.buf[j] = v
+	r.n++
+}
+
+func (r *ring[T]) pop(k int) {
+	r.head += k
+	if r.head >= len(r.buf) {
+		r.head -= len(r.buf)
+	}
+	r.n -= k
+}
+
+// batchLane is one configuration variant's complete pipeline state. It is
+// the solo Pipeline translated to compact entries: every phase below
+// mirrors its pipeline.go counterpart exactly, so a lane's event stream
+// and statistics are byte-identical to a solo run of the same config.
+type batchLane struct {
+	cfg   Config
+	src   BatchSource
+	mem   *cache.Hierarchy
+	sink  BatchSink
+	feCap int
+
+	// body is a snapshot of the source's materialised body prefix, so hot
+	// lookups index a slice instead of calling through the interface; it is
+	// refreshed from slicer (when the source supports it) as the lane's
+	// cursors outrun it. Entries are immutable once generated, so an old
+	// snapshot never goes stale, only short.
+	body   []isa.Inst
+	slicer bodySlicer
+
+	cycle    uint64
+	regReady [isa.NumRegs]uint64
+
+	iq       ring[biqEntry]
+	fe       ring[bfeEntry]
+	sb       ring[bsbEntry]
+	issuePtr int
+
+	refetch     []streamRef
+	refetchHead int
+
+	pendingRef  streamRef
+	havePending bool
+
+	wrongMode   bool
+	wrongSrcSeq uint64
+	resolveAt   uint64
+	squashQ     []squashEvent
+	throttleQ   []throttleEvent
+	stallUntil  uint64
+
+	nextBody   int // correct-path cursor: next body index to fetch fresh
+	wrongDrawn int // wrong-path draws so far
+
+	stats           Stats
+	lastCommits     uint64
+	lastCommitCycle uint64
+}
+
+// batchChunk is the lockstep pass length in commits: every live lane
+// advances to the chunk target before any lane starts the next chunk, so
+// the whole batch walks one shared body window that stays cache-resident
+// across lanes.
+const batchChunk = 4096
+
+// RunBatch drives K configuration variants through one decode of the
+// shared instruction stream, delivering each lane's events to the
+// corresponding sink (nil to discard; a sink that implements BatchSink
+// receives compact events directly). mems supplies each lane's private
+// data-cache hierarchy — lanes interleave loads and store drains
+// differently, so the hierarchy cannot be shared. Returns one Stats per
+// lane, byte-identical to K independent RunStream runs.
+func RunBatch(ctx context.Context, commits uint64, src BatchSource, cfgs []Config, mems []*cache.Hierarchy, sinks []Sink) ([]Stats, error) {
+	bs := make([]BatchSink, len(cfgs))
+	for i, s := range sinks {
+		switch t := s.(type) {
+		case nil:
+		case BatchSink:
+			bs[i] = t
+		default:
+			bs[i] = &sinkAdapter{src: src, s: s}
+		}
+	}
+	return RunBatchStream(ctx, commits, src, cfgs, mems, bs)
+}
+
+// RunBatchStream is RunBatch for compact sinks — the zero-reconstruction
+// hot path ace.BatchCollector rides.
+func RunBatchStream(ctx context.Context, commits uint64, src BatchSource, cfgs []Config, mems []*cache.Hierarchy, sinks []BatchSink) ([]Stats, error) {
+	if src == nil {
+		return nil, fmt.Errorf("pipeline: nil batch source")
+	}
+	if len(cfgs) == 0 || len(mems) != len(cfgs) || len(sinks) != len(cfgs) {
+		return nil, fmt.Errorf("pipeline: batch needs matching cfgs/mems/sinks, got %d/%d/%d",
+			len(cfgs), len(mems), len(sinks))
+	}
+	for i := range cfgs {
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: batch lane %d: %w", i, err)
+		}
+		if cfgs[i].SingleStep {
+			return nil, fmt.Errorf("pipeline: batch lane %d: %w", i, ErrBatchSingleStep)
+		}
+		if mems[i] == nil {
+			return nil, fmt.Errorf("pipeline: batch lane %d: nil memory", i)
+		}
+	}
+	lanes := newLanes(src, cfgs, mems, sinks)
+
+	for target := uint64(0); target < commits; {
+		target += batchChunk
+		if target > commits {
+			target = commits
+		}
+		for _, ln := range lanes {
+			if err := ln.run(ctx, target); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := make([]Stats, len(lanes))
+	for i, ln := range lanes {
+		ln.flush()
+		ln.stats.Cycles = ln.cycle
+		out[i] = ln.stats
+	}
+	return out, nil
+}
+
+// newLanes builds every lane over shared backing slabs: one allocation per
+// queue kind for the whole batch instead of three per lane.
+func newLanes(src BatchSource, cfgs []Config, mems []*cache.Hierarchy, sinks []BatchSink) []*batchLane {
+	var iqTotal, feTotal, sbTotal int
+	for i := range cfgs {
+		iqTotal += cfgs[i].IQSize
+		feTotal += cfgs[i].FrontEndCap()
+		sbTotal += cfgs[i].StoreBufferSize
+	}
+	iqSlab := make([]biqEntry, iqTotal)
+	feSlab := make([]bfeEntry, feTotal)
+	sbSlab := make([]bsbEntry, sbTotal)
+
+	slicer, _ := src.(bodySlicer)
+	lanes := make([]*batchLane, len(cfgs))
+	iqOff, feOff, sbOff := 0, 0, 0
+	for i := range cfgs {
+		cfg := cfgs[i]
+		feCap := cfg.FrontEndCap()
+		ln := &batchLane{
+			cfg:       cfg,
+			src:       src,
+			slicer:    slicer,
+			mem:       mems[i],
+			sink:      sinks[i],
+			feCap:     feCap,
+			refetch:   make([]streamRef, 0, cfg.IQSize+feCap),
+			squashQ:   make([]squashEvent, 0, 8),
+			throttleQ: make([]throttleEvent, 0, 8),
+		}
+		ln.iq.buf = iqSlab[iqOff : iqOff+cfg.IQSize]
+		ln.fe.buf = feSlab[feOff : feOff+feCap]
+		ln.sb.buf = sbSlab[sbOff : sbOff+cfg.StoreBufferSize]
+		iqOff += cfg.IQSize
+		feOff += feCap
+		sbOff += cfg.StoreBufferSize
+		lanes[i] = ln
+	}
+	return lanes
+}
+
+// run advances the lane until its commit count reaches target, with the
+// solo engine's loop structure: step, watchdog, fast-forward to the lane's
+// own next event horizon. Stopping at an intermediate chunk target skips
+// at most one fast-forward, and the first step of the next chunk is then a
+// provable no-op cycle, so chunking never changes results.
+func (ln *batchLane) run(ctx context.Context, target uint64) error {
+	for iter := uint64(0); ln.stats.Commits < target; iter++ {
+		if iter&1023 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		ln.step()
+		if ln.stats.Commits != ln.lastCommits {
+			ln.lastCommits = ln.stats.Commits
+			ln.lastCommitCycle = ln.cycle
+		} else if ln.cycle-ln.lastCommitCycle > watchdogCycles {
+			panic(fmt.Sprintf(
+				"pipeline: batch lane: no commit for %d cycles at cycle %d (iq=%d fe=%d refetch=%d wrong=%v stall=%d)",
+				watchdogCycles, ln.cycle, ln.iq.n, ln.fe.n, len(ln.refetch)-ln.refetchHead, ln.wrongMode, ln.stallUntil))
+		}
+		if ln.stats.Commits < target {
+			ln.fastForward()
+		}
+	}
+	return nil
+}
+
+// flush closes residencies for entries still in flight, clipped at the
+// final cycle, exactly as RunStream does.
+func (ln *batchLane) flush() {
+	if ln.sink == nil {
+		return
+	}
+	for i := 0; i < ln.iq.n; i++ {
+		ln.recordResidency(ln.iq.at(i), ln.cycle, false)
+	}
+	for i := 0; i < ln.fe.n; i++ {
+		ln.recordFrontEnd(ln.fe.at(i), ln.cycle, false)
+	}
+	for i := 0; i < ln.sb.n; i++ {
+		e := ln.sb.at(i)
+		ln.sink.BatchStoreBuffer(e.ref, e.seq, e.enq, ln.cycle)
+	}
+}
+
+func (ln *batchLane) step() {
+	now := ln.cycle
+	ln.drainStores(now)
+	ln.resolveBranch(now)
+	ln.applySquashes(now)
+	ln.applyThrottles(now)
+	ln.evict(now)
+	ln.issue(now)
+	ln.deliver(now)
+	ln.fetch(now)
+	ln.cycle++
+}
+
+func (ln *batchLane) fastForward() {
+	now := ln.cycle
+	horizon := ln.nextEventCycle(now)
+	if horizon <= now {
+		return
+	}
+	if ln.stallUntil > now {
+		stallEnd := ln.stallUntil
+		if horizon < stallEnd {
+			stallEnd = horizon
+		}
+		ln.stats.FetchStallCycles += stallEnd - now
+	}
+	ln.cycle = horizon
+}
+
+func (ln *batchLane) nextEventCycle(now uint64) uint64 {
+	if now >= ln.stallUntil && ln.fe.n < ln.feCap {
+		return now
+	}
+	horizon := neverCycle
+	if now < ln.stallUntil {
+		horizon = ln.stallUntil
+	}
+	if ln.sb.n > 0 {
+		if at := ln.sb.at(0).drainAt; at < horizon {
+			horizon = at
+		}
+	}
+	if ln.resolveAt != 0 && ln.resolveAt < horizon {
+		horizon = ln.resolveAt
+	}
+	for i := range ln.squashQ {
+		if at := ln.squashQ[i].at; at < horizon {
+			horizon = at
+		}
+	}
+	for i := range ln.throttleQ {
+		if at := ln.throttleQ[i].at; at < horizon {
+			horizon = at
+		}
+	}
+	if ln.iq.n > 0 {
+		if e := ln.iq.at(0); e.issued && e.evictAt < horizon {
+			horizon = e.evictAt
+		}
+	}
+	if ln.fe.n > 0 && ln.iq.n < ln.cfg.IQSize {
+		if at := ln.fe.at(0).readyAt; at < horizon {
+			horizon = at
+		}
+	}
+	for i := ln.issuePtr; i < ln.iq.n; i++ {
+		if horizon <= now {
+			return now
+		}
+		e := ln.iq.at(i)
+		if e.issued {
+			continue
+		}
+		if rc := ln.readyCycle(e); rc < horizon {
+			horizon = rc
+		}
+		if !ln.cfg.OutOfOrder {
+			break
+		}
+	}
+	if horizon < now || horizon == neverCycle {
+		return now
+	}
+	return horizon
+}
+
+func (ln *batchLane) readyCycle(e *biqEntry) uint64 {
+	if e.ref.Wrong() {
+		return 0
+	}
+	in := e.in
+	t := uint64(0)
+	if in.PredGuard != isa.RegNone {
+		t = ln.regReady[in.PredGuard]
+	}
+	if in.PredFalse {
+		return t
+	}
+	if in.Class == isa.ClassStore && ln.sb.n >= ln.cfg.StoreBufferSize {
+		return neverCycle
+	}
+	if in.Src1 != isa.RegNone && ln.regReady[in.Src1] > t {
+		t = ln.regReady[in.Src1]
+	}
+	if in.Src2 != isa.RegNone && ln.regReady[in.Src2] > t {
+		t = ln.regReady[in.Src2]
+	}
+	return t
+}
+
+func (ln *batchLane) recordResidency(e *biqEntry, evict uint64, squashed bool) {
+	if ln.sink == nil {
+		return
+	}
+	ln.sink.BatchResidency(e.ref, e.seq, e.enq, e.issue, evict, e.issued, squashed)
+}
+
+func (ln *batchLane) recordFrontEnd(fe *bfeEntry, until uint64, delivered bool) {
+	if ln.sink == nil {
+		return
+	}
+	ln.sink.BatchFrontEnd(fe.ref, fe.seq, fe.fetched, until, delivered)
+}
+
+func (ln *batchLane) resolveBranch(now uint64) {
+	if ln.resolveAt == 0 || now < ln.resolveAt {
+		return
+	}
+	ln.resolveAt = 0
+	ln.wrongMode = false
+	kept := 0
+	for i := 0; i < ln.iq.n; i++ {
+		e := ln.iq.at(i)
+		if e.ref.Wrong() {
+			ln.stats.WrongFlushes++
+			ln.recordResidency(e, now, !e.issued)
+			continue
+		}
+		if kept != i {
+			*ln.iq.at(kept) = *e
+		}
+		kept++
+	}
+	ln.iq.n = kept
+	ln.issuePtr = 0
+	kept = 0
+	for i := 0; i < ln.fe.n; i++ {
+		fe := ln.fe.at(i)
+		if fe.ref.Wrong() {
+			ln.stats.WrongFlushes++
+			ln.recordFrontEnd(fe, now, false)
+			continue
+		}
+		if kept != i {
+			*ln.fe.at(kept) = *fe
+		}
+		kept++
+	}
+	ln.fe.n = kept
+}
+
+func (ln *batchLane) applySquashes(now uint64) {
+	rest := ln.squashQ[:0]
+	for _, ev := range ln.squashQ {
+		if ev.at > now {
+			rest = append(rest, ev)
+			continue
+		}
+		ln.doSquash(now, ev)
+	}
+	ln.squashQ = rest
+}
+
+func (ln *batchLane) doSquash(now uint64, ev squashEvent) {
+	ln.stats.Squashes++
+	kept := 0
+	for i := 0; i < ln.iq.n; i++ {
+		e := ln.iq.at(i)
+		if e.issued || e.seq <= ev.loadSeq {
+			if kept != i {
+				*ln.iq.at(kept) = *e
+			}
+			kept++
+			continue
+		}
+		ln.stats.SquashedEntries++
+		ln.recordResidency(e, now, true)
+		ln.squashVictim(e.ref, e.seq)
+	}
+	ln.iq.n = kept
+	ln.issuePtr = 0
+
+	kept = 0
+	for i := 0; i < ln.fe.n; i++ {
+		fe := ln.fe.at(i)
+		if fe.seq <= ev.loadSeq {
+			if kept != i {
+				*ln.fe.at(kept) = *fe
+			}
+			kept++
+			continue
+		}
+		ln.stats.SquashedEntries++
+		ln.recordFrontEnd(fe, now, false)
+		ln.squashVictim(fe.ref, fe.seq)
+	}
+	ln.fe.n = kept
+
+	if ln.refetchHead > 0 {
+		m := copy(ln.refetch, ln.refetch[ln.refetchHead:])
+		ln.refetch = ln.refetch[:m]
+		ln.refetchHead = 0
+	}
+	sortStreamRefs(ln.refetch)
+	restart := uint64(0)
+	if mr := ev.missReturn; mr > uint64(ln.cfg.RefetchOverlap) {
+		restart = mr - uint64(ln.cfg.RefetchOverlap)
+	}
+	if restart < now {
+		restart = now
+	}
+	if restart > ln.stallUntil {
+		ln.stallUntil = restart
+	}
+}
+
+func (ln *batchLane) squashVictim(ref BatchRef, seq uint64) {
+	if ref.Wrong() {
+		return
+	}
+	ln.refetch = append(ln.refetch, streamRef{seq: seq, ref: ref})
+	ln.stats.Refetches++
+	if ln.wrongMode && seq == ln.wrongSrcSeq {
+		ln.wrongMode = false
+	}
+}
+
+func sortStreamRefs(q []streamRef) {
+	for i := 1; i < len(q); i++ {
+		for j := i; j > 0 && q[j-1].seq > q[j].seq; j-- {
+			q[j-1], q[j] = q[j], q[j-1]
+		}
+	}
+}
+
+func (ln *batchLane) applyThrottles(now uint64) {
+	rest := ln.throttleQ[:0]
+	for _, ev := range ln.throttleQ {
+		if ev.at > now {
+			rest = append(rest, ev)
+			continue
+		}
+		ln.stats.ThrottleEvents++
+		if ev.missReturn > ln.stallUntil {
+			ln.stallUntil = ev.missReturn
+		}
+	}
+	ln.throttleQ = rest
+}
+
+func (ln *batchLane) evict(now uint64) {
+	n := 0
+	for n < ln.iq.n {
+		e := ln.iq.at(n)
+		if !e.issued || now < e.evictAt {
+			break
+		}
+		ln.recordResidency(e, now, false)
+		n++
+	}
+	if n > 0 {
+		ln.iq.pop(n)
+		ln.issuePtr -= n
+		if ln.issuePtr < 0 {
+			ln.issuePtr = 0
+		}
+	}
+}
+
+func (ln *batchLane) issue(now uint64) {
+	issued := 0
+	for i := ln.issuePtr; i < ln.iq.n && issued < ln.cfg.IssueWidth; i++ {
+		e := ln.iq.at(i)
+		if e.issued {
+			continue
+		}
+		if !ln.ready(e, now) {
+			if ln.cfg.OutOfOrder {
+				continue
+			}
+			return
+		}
+		ln.execute(e, now)
+		issued++
+		if i == ln.issuePtr {
+			ln.issuePtr = i + 1
+		}
+	}
+}
+
+func (ln *batchLane) ready(e *biqEntry, now uint64) bool {
+	if e.ref.Wrong() {
+		return true
+	}
+	in := e.in
+	if in.PredGuard != isa.RegNone && ln.regReady[in.PredGuard] > now {
+		return false
+	}
+	if in.PredFalse {
+		return true
+	}
+	if in.Class == isa.ClassStore && ln.sb.n >= ln.cfg.StoreBufferSize {
+		return false
+	}
+	if in.Src1 != isa.RegNone && ln.regReady[in.Src1] > now {
+		return false
+	}
+	if in.Src2 != isa.RegNone && ln.regReady[in.Src2] > now {
+		return false
+	}
+	return true
+}
+
+func (ln *batchLane) execute(e *biqEntry, now uint64) {
+	e.issued = true
+	e.issue = now
+	e.evictAt = now + uint64(ln.cfg.ReplayWindow)
+
+	if e.ref.Wrong() {
+		return
+	}
+	in := e.in
+
+	ln.stats.Commits++
+	if ln.sink != nil {
+		ln.sink.BatchCommit(e.ref, e.seq, e.enq, now)
+	}
+
+	if in.PredFalse {
+		return
+	}
+
+	switch in.Class {
+	case isa.ClassALU:
+		ln.writeDest(in, now+uint64(ln.cfg.ALULatency))
+	case isa.ClassFPU:
+		ln.writeDest(in, now+uint64(ln.cfg.FPLatency))
+	case isa.ClassLoad:
+		if ln.sbHolds(in.Addr) {
+			ln.stats.ForwardedLoads++
+			ln.writeDest(in, now+1)
+			break
+		}
+		res := ln.mem.Access(in.Addr, false)
+		ln.stats.LoadsByLevel[res.Level]++
+		ln.writeDest(in, now+uint64(res.Latency))
+		ln.maybeTrigger(e.seq, res, now)
+	case isa.ClassStore:
+		ln.sb.push(bsbEntry{
+			addr:    in.Addr,
+			enq:     now,
+			drainAt: now + uint64(ln.cfg.StoreDrainLatency),
+			seq:     e.seq,
+			ref:     e.ref,
+		})
+	case isa.ClassIO:
+		ln.mem.Access(in.Addr, true)
+	case isa.ClassPrefetch:
+		ln.mem.Prefetch(in.Addr)
+	case isa.ClassBranch, isa.ClassCall, isa.ClassReturn:
+		if in.Mispred && ln.wrongMode && ln.wrongSrcSeq == e.seq {
+			ln.resolveAt = now + uint64(ln.cfg.BranchResolveLatency)
+		}
+	case isa.ClassNop, isa.ClassHint:
+	}
+}
+
+// sbHolds reports whether a live store-buffer entry covers addr. The solo
+// engine keeps a refcounted map; the buffer is at most StoreBufferSize
+// entries, so a linear scan of the ring is cheaper than map traffic.
+func (ln *batchLane) sbHolds(addr uint64) bool {
+	for i := 0; i < ln.sb.n; i++ {
+		if ln.sb.at(i).addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func (ln *batchLane) writeDest(in *isa.Inst, readyAt uint64) {
+	if in.Dest != isa.RegNone {
+		ln.regReady[in.Dest] = readyAt
+	}
+}
+
+func (ln *batchLane) maybeTrigger(seq uint64, res cache.AccessResult, now uint64) {
+	if lvl := ln.cfg.SquashTrigger.level(); lvl >= 0 && res.MissedLevel(lvl) {
+		ln.squashQ = append(ln.squashQ, squashEvent{
+			at:         now + uint64(ln.mem.Level(lvl).Config().HitLatency),
+			loadSeq:    seq,
+			missReturn: now + uint64(res.Latency),
+		})
+	}
+	if lvl := ln.cfg.ThrottleTrigger.level(); lvl >= 0 && res.MissedLevel(lvl) {
+		ln.throttleQ = append(ln.throttleQ, throttleEvent{
+			at:         now + uint64(ln.mem.Level(lvl).Config().HitLatency),
+			missReturn: now + uint64(res.Latency),
+		})
+	}
+}
+
+func (ln *batchLane) drainStores(now uint64) {
+	if ln.sb.n == 0 {
+		return
+	}
+	e := ln.sb.at(0)
+	if now < e.drainAt {
+		return
+	}
+	ln.mem.Access(e.addr, true)
+	if ln.sink != nil {
+		ln.sink.BatchStoreBuffer(e.ref, e.seq, e.enq, now)
+	}
+	ln.sb.pop(1)
+}
+
+func (ln *batchLane) deliver(now uint64) {
+	n := 0
+	for n < ln.fe.n {
+		fe := ln.fe.at(n)
+		if fe.readyAt > now || ln.iq.n >= ln.cfg.IQSize {
+			break
+		}
+		ln.iq.push(biqEntry{ref: fe.ref, seq: fe.seq, in: fe.in, enq: now})
+		ln.recordFrontEnd(fe, now, true)
+		n++
+	}
+	if n > 0 {
+		ln.fe.pop(n)
+	}
+}
+
+func (ln *batchLane) fetch(now uint64) {
+	if now < ln.stallUntil {
+		ln.stats.FetchStallCycles++
+		return
+	}
+	if ln.fe.n >= ln.feCap {
+		return
+	}
+	readyAt := now + uint64(ln.cfg.FrontEndDepth)
+	for i := 0; i < ln.cfg.FetchWidth && ln.fe.n < ln.feCap; i++ {
+		var ref BatchRef
+		var seq uint64
+		switch {
+		case ln.refetchHead < len(ln.refetch) && !ln.wrongMode:
+			v := ln.refetch[ln.refetchHead]
+			ln.refetchHead++
+			if ln.refetchHead == len(ln.refetch) {
+				ln.refetch = ln.refetch[:0]
+				ln.refetchHead = 0
+			}
+			ref, seq = v.ref, v.seq
+		case ln.havePending:
+			ref, seq = ln.pendingRef.ref, ln.pendingRef.seq
+			ln.havePending = false
+		case ln.wrongMode:
+			ref = wrongAt(ln.nextBody)
+			seq = uint64(ln.nextBody + ln.wrongDrawn)
+			ln.wrongDrawn++
+		default:
+			in := ln.inst(ln.nextBody)
+			if in.FetchBubble > 0 {
+				// Charge the delivery gap and park: the bubble lives in
+				// the shared memo, so it is honoured on the first fetch
+				// and ignored on refetch, exactly as the solo engine's
+				// clear-on-park behaves.
+				until := now + uint64(in.FetchBubble)
+				if until > ln.stallUntil {
+					ln.stallUntil = until
+				}
+				ln.pendingRef = streamRef{
+					seq: uint64(ln.nextBody + ln.wrongDrawn),
+					ref: bodyRef(ln.nextBody),
+				}
+				ln.havePending = true
+				ln.nextBody++
+				return
+			}
+			ref = bodyRef(ln.nextBody)
+			seq = uint64(ln.nextBody + ln.wrongDrawn)
+			ln.nextBody++
+		}
+		if seq > ln.stats.MaxSeq {
+			ln.stats.MaxSeq = seq
+		}
+		// The content pointer rides in the entry from fetch onward: memo
+		// arrays are append-only and their entries immutable, so a pointer
+		// taken here stays valid even after the snapshot grows.
+		var in *isa.Inst
+		if !ref.Wrong() {
+			in = ln.inst(ref.Body())
+			if in.Class.IsControl() && in.Mispred && !ln.wrongMode {
+				ln.wrongMode = true
+				ln.wrongSrcSeq = seq
+			}
+		}
+		ln.fe.push(bfeEntry{ref: ref, seq: seq, in: in, fetched: now, readyAt: readyAt})
+	}
+}

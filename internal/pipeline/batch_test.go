@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"softerror/internal/cache"
+	"softerror/internal/workload"
+)
+
+// batchConfigs is a spread of lane shapes covering the axes the sweep
+// varies: IQ size, squash policy, store-buffer depth, issue discipline.
+func batchConfigs() []Config {
+	base := DefaultConfig()
+	narrow := base
+	narrow.IQSize = 16
+	squash := base
+	squash.SquashTrigger = TriggerL1Miss
+	deepSB := base
+	deepSB.StoreBufferSize = 4
+	ooo := base
+	ooo.OutOfOrder = true
+	return []Config{base, narrow, squash, deepSB, ooo}
+}
+
+// soloTrace runs one config through the solo engine.
+func soloTrace(t *testing.T, p workload.Params, cfg Config, commits uint64) *Trace {
+	t.Helper()
+	gen, err := workload.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := workload.WarmedDefault()
+	rec := NewTraceRecorder(cfg, commits)
+	st, err := MustNew(cfg, gen, mem).RunStream(context.Background(), commits, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace(st)
+}
+
+// TestBatchSingleLaneMatchesRunStream pins the K=1 degenerate case: one
+// lane in a batch produces the exact trace RunStream produces — every
+// residency, commit and statistic.
+func TestBatchSingleLaneMatchesRunStream(t *testing.T) {
+	const commits = 20_000
+	p := workload.Default()
+	for _, cfg := range batchConfigs() {
+		want := soloTrace(t, p, cfg, commits)
+
+		sh, err := workload.NewShared(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := NewTraceRecorder(cfg, commits)
+		stats, err := RunBatch(context.Background(), commits, sh,
+			[]Config{cfg}, []*cache.Hierarchy{workload.WarmedDefault()}, []Sink{rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rec.Trace(stats[0])
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("K=1 batch diverges from RunStream for cfg %+v:\n want cycles=%d commits=%d res=%d\n got  cycles=%d commits=%d res=%d",
+				cfg, want.Cycles, want.Commits, len(want.Residencies),
+				got.Cycles, got.Commits, len(got.Residencies))
+		}
+	}
+}
+
+// TestBatchLanesMatchIndependentRuns pins the tentpole identity at the
+// engine level: K lanes sharing one decoded stream each produce the trace
+// of an independent solo run of their config.
+func TestBatchLanesMatchIndependentRuns(t *testing.T) {
+	const commits = 20_000
+	p := workload.Default()
+	cfgs := batchConfigs()
+
+	sh, err := workload.NewShared(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]*TraceRecorder, len(cfgs))
+	sinks := make([]Sink, len(cfgs))
+	mems := make([]*cache.Hierarchy, len(cfgs))
+	for i, cfg := range cfgs {
+		recs[i] = NewTraceRecorder(cfg, commits)
+		sinks[i] = recs[i]
+		mems[i] = workload.WarmedDefault()
+	}
+	stats, err := RunBatch(context.Background(), commits, sh, cfgs, mems, sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		want := soloTrace(t, p, cfg, commits)
+		got := recs[i].Trace(stats[i])
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("lane %d (cfg %+v) diverges from its solo run:\n want cycles=%d commits=%d res=%d\n got  cycles=%d commits=%d res=%d",
+				i, cfg, want.Cycles, want.Commits, len(want.Residencies),
+				got.Cycles, got.Commits, len(got.Residencies))
+		}
+	}
+}
+
+// TestBatchRejectsSingleStep pins the typed rejection: SingleStep lanes —
+// alone or mixed with fast-path lanes — cannot join a batch.
+func TestBatchRejectsSingleStep(t *testing.T) {
+	p := workload.Default()
+	sh, err := workload.NewShared(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := DefaultConfig()
+	stepped := DefaultConfig()
+	stepped.SingleStep = true
+	for _, cfgs := range [][]Config{
+		{stepped},
+		{fast, stepped, fast},
+	} {
+		mems := make([]*cache.Hierarchy, len(cfgs))
+		for i := range mems {
+			mems[i] = workload.WarmedDefault()
+		}
+		_, err := RunBatch(context.Background(), 100, sh, cfgs, mems, make([]Sink, len(cfgs)))
+		if !errors.Is(err, ErrBatchSingleStep) {
+			t.Fatalf("RunBatch with SingleStep lane = %v, want ErrBatchSingleStep", err)
+		}
+	}
+}
+
+// TestBatchCancelled pins cooperative cancellation: a cancelled context
+// aborts the batch with the context's error.
+func TestBatchCancelled(t *testing.T) {
+	p := workload.Default()
+	sh, err := workload.NewShared(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = RunBatch(ctx, 1_000_000, sh,
+		[]Config{DefaultConfig()}, []*cache.Hierarchy{workload.WarmedDefault()}, []Sink{nil})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch = %v, want context.Canceled", err)
+	}
+}

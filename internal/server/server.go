@@ -294,6 +294,12 @@ type SweepAccepted struct {
 	Deduplicated bool `json:"deduplicated,omitempty"`
 }
 
+// maxSweepCells bounds an accepted grid's cell count: the benchmark and
+// policy axes are roster-bounded, but the iqsizes/ooo arrays come straight
+// from the request body, and an unbounded product would let one POST queue
+// arbitrarily much simulation.
+const maxSweepCells = 16384
+
 // buildGrid translates the request into a sweep.Grid.
 func (s *Server) buildGrid(req SweepRequest) (*sweep.Grid, error) {
 	benches, err := spec.ParseList(joinNames(req.Benches))
@@ -338,6 +344,17 @@ func (s *Server) buildGrid(req SweepRequest) (*sweep.Grid, error) {
 			return nil, fmt.Errorf("bad tasktimeout: %v", err)
 		}
 		g.TaskTimeout = d
+	}
+	for _, iq := range g.IQSizes {
+		if iq < 1 {
+			return nil, fmt.Errorf("bad IQ size %d, want >= 1", iq)
+		}
+	}
+	if req.Retries < 0 {
+		return nil, fmt.Errorf("bad retries %d, want >= 0", req.Retries)
+	}
+	if n := g.Size(); n < 1 || n > maxSweepCells {
+		return nil, fmt.Errorf("grid spans %d cells, want 1..%d", n, maxSweepCells)
 	}
 	return g, nil
 }

@@ -1,0 +1,70 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"softerror/internal/checkpoint"
+)
+
+// rowsCSV renders a finished row set with the shared writer.
+func rowsCSV(t *testing.T, rows []Row) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGridCancelMidBatchResumesPerCell pins the batched dispatch's crash
+// contract: progress is checkpointed per cell, never per batch. smallGrid's
+// bench blocks (4 cells each) fit one batch group, so the first leg is
+// cancelled while a leader holds parked rows for cells whose tasks have not
+// run; those rows must not leak into the checkpoint, and the resumed leg
+// must re-derive them and render bytes identical to an uninterrupted run.
+func TestGridCancelMidBatchResumesPerCell(t *testing.T) {
+	g := smallGrid(t)
+	g.Workers = 2
+	want, err := g.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := rowsCSV(t, want)
+
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	interrupted := smallGrid(t)
+	interrupted.Workers = 2
+	ck, err := checkpoint.Open[Row](path, "sweep", interrupted.Fingerprint(), interrupted.Size(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.SetInterval(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, runErr := interrupted.RunContext(ctx, ck, func(done, total int) {
+		cancel() // first completed cell kills the campaign mid-batch
+	})
+	if runErr == nil {
+		t.Fatal("cancelled run reported success")
+	}
+
+	resumed := smallGrid(t)
+	resumed.Workers = 2
+	ck2, err := checkpoint.Open[Row](path, "sweep", resumed.Fingerprint(), resumed.Size(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := ck2.CountDone(); done < 1 || done >= resumed.Size() {
+		t.Fatalf("checkpoint has %d of %d cells; want a strict non-empty subset", done, resumed.Size())
+	}
+	rows, err := resumed.RunContext(context.Background(), ck2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsCSV(t, rows); !bytes.Equal(got, wantCSV) {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\n got %d bytes\nwant %d bytes", len(got), len(wantCSV))
+	}
+}

@@ -8,6 +8,7 @@ package sweep
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -20,6 +21,7 @@ import (
 	"softerror/internal/pipeline"
 	"softerror/internal/serate"
 	"softerror/internal/spec"
+	"softerror/internal/workload"
 )
 
 // Grid describes the design space to sweep. Every axis must be non-empty;
@@ -40,6 +42,9 @@ type Grid struct {
 	OnError par.Policy
 	// TaskTimeout is the per-cell watchdog deadline (0 = none): a hung
 	// simulation is cancelled, retried per Retries, and reported hung.
+	// A cell that leads its batch (see maxBatchLanes) simulates up to
+	// maxBatchLanes cells inside one attempt; size the deadline for the
+	// batch, not the single cell.
 	TaskTimeout time.Duration
 	// Retries is the number of deterministic re-attempts for failed or
 	// hung cells; cells are index-deterministic, so a retried cell is
@@ -98,6 +103,174 @@ func (g *Grid) cell(i int) (b spec.Benchmark, pol core.Policy, iq int, ooo bool)
 	return b, pol, iq, ooo
 }
 
+// cellConfig materialises cell i's pipeline configuration.
+func (g *Grid) cellConfig(i int) (spec.Benchmark, pipeline.Config) {
+	b, pol, iq, ooo := g.cell(i)
+	cfg := pipeline.DefaultConfig()
+	pol.Apply(&cfg)
+	cfg.IQSize = iq
+	cfg.OutOfOrder = ooo
+	return b, cfg
+}
+
+// rowFrom folds one finished simulation into cell i's row.
+func (g *Grid) rowFrom(i int, res *core.Result) Row {
+	b, pol, iq, ooo := g.cell(i)
+	return Row{
+		Bench:       b.Name,
+		FP:          b.FP,
+		Policy:      pol,
+		IQSize:      iq,
+		OutOfOrder:  ooo,
+		IPC:         res.IPC,
+		SDCAVF:      res.Report.SDCAVF(),
+		DUEAVF:      res.Report.DUEAVF(),
+		FalseDUEAVF: res.Report.FalseDUEAVF(),
+		MeritSDC:    serate.Merit(res.IPC, res.Report.SDCAVF()),
+		Squashes:    res.Squashes,
+	}
+}
+
+// maxBatchLanes bounds how many cells one batched simulation drives. Cells
+// sharing a benchmark are spread round-robin over ceil(block/maxBatchLanes)
+// groups, so consecutive cell indices — which the worker pool dispatches in
+// order — lead different groups instead of queueing behind one.
+const maxBatchLanes = 8
+
+// groupRun is the shared state of one batch group: the cells of one
+// benchmark that evaluate together over a single decode of its instruction
+// stream. The first cell task to arrive becomes the leader and simulates
+// every still-pending member in one pipeline.RunBatch pass; the others wait
+// on done and collect their rows. Each cell still checkpoints and reports
+// progress from its own task, so failure blame, retries, and resume all
+// keep per-cell granularity.
+type groupRun struct {
+	bench   spec.Benchmark
+	members []int
+
+	mu   sync.Mutex
+	done chan struct{} // non-nil while a leader is simulating
+	solo bool          // stream unshareable: every member runs solo
+	rows map[int]Row   // batched results awaiting their cell's task
+}
+
+// buildGroups assigns every cell to its batch group.
+func (g *Grid) buildGroups() []*groupRun {
+	blk := len(g.Policies) * len(g.IQSizes) * len(g.OutOfOrder)
+	ng := (blk + maxBatchLanes - 1) / maxBatchLanes
+	index := make([]*groupRun, g.Size())
+	for bi, b := range g.Benches {
+		base := bi * blk
+		benchGroups := make([]*groupRun, ng)
+		for k := range benchGroups {
+			benchGroups[k] = &groupRun{bench: b, rows: make(map[int]Row)}
+		}
+		for o := 0; o < blk; o++ {
+			gr := benchGroups[o%ng]
+			gr.members = append(gr.members, base+o)
+			index[base+o] = gr
+		}
+	}
+	return index
+}
+
+// cellRow produces cell i's row, through the group's shared batch when the
+// stream is shareable and solo otherwise. It loops until the row exists:
+// a waiter whose leader failed claims leadership itself, so one poisoned
+// member costs the group a re-run, not the campaign a deadlock.
+func (g *Grid) cellRow(ctx context.Context, i int, gr *groupRun, ck *checkpoint.File[Row], commits uint64) (Row, error) {
+	for {
+		gr.mu.Lock()
+		if r, ok := gr.rows[i]; ok {
+			gr.mu.Unlock()
+			return r, nil
+		}
+		if gr.solo {
+			gr.mu.Unlock()
+			return g.soloCell(ctx, i, commits)
+		}
+		if gr.done == nil {
+			done := make(chan struct{})
+			gr.done = done
+			gr.mu.Unlock()
+			if err := g.leadBatch(ctx, gr, ck, commits, done); err != nil &&
+				!errors.Is(err, workload.ErrUnshareable) {
+				return Row{}, err
+			}
+			continue
+		}
+		done := gr.done
+		gr.mu.Unlock()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return Row{}, ctx.Err()
+		}
+	}
+}
+
+// leadBatch simulates every member of gr that is neither checkpointed nor
+// already computed, in one batched pass, and parks the rows for their
+// tasks. The done channel is closed on every exit path — including a
+// panicking simulation — so waiters never hang on a dead leader.
+func (g *Grid) leadBatch(ctx context.Context, gr *groupRun, ck *checkpoint.File[Row], commits uint64, done chan struct{}) (err error) {
+	defer func() {
+		gr.mu.Lock()
+		gr.done = nil
+		gr.mu.Unlock()
+		close(done)
+	}()
+	gr.mu.Lock()
+	var pending []int
+	for _, j := range gr.members {
+		if _, ok := gr.rows[j]; !ok && !ck.Done(j) {
+			pending = append(pending, j)
+		}
+	}
+	gr.mu.Unlock()
+	if len(pending) == 0 {
+		return nil
+	}
+	specs := make([]core.BatchSpec, len(pending))
+	for k, j := range pending {
+		_, cfg := g.cellConfig(j)
+		specs[k] = core.BatchSpec{Pipeline: cfg}
+	}
+	res, err := core.RunBatchContext(ctx, gr.bench.Params, commits, specs)
+	if err != nil {
+		if errors.Is(err, workload.ErrUnshareable) {
+			gr.mu.Lock()
+			gr.solo = true
+			gr.mu.Unlock()
+		}
+		return fmt.Errorf("sweep: %s batch (%d cells): %w",
+			gr.bench.Name, len(pending), err)
+	}
+	gr.mu.Lock()
+	for k, j := range pending {
+		gr.rows[j] = g.rowFrom(j, res[k])
+	}
+	gr.mu.Unlock()
+	return nil
+}
+
+// soloCell is the unbatched fallback: one cell, one independent run —
+// exactly the pre-batching sweep path.
+func (g *Grid) soloCell(ctx context.Context, i int, commits uint64) (Row, error) {
+	b, cfg := g.cellConfig(i)
+	res, err := core.RunContext(ctx, core.Config{
+		Workload: b.Params,
+		Pipeline: cfg,
+		Commits:  commits,
+	})
+	if err != nil {
+		_, pol, iq, ooo := g.cell(i)
+		return Row{}, fmt.Errorf("sweep: %s/%v/iq%d/ooo=%v: %w",
+			b.Name, pol, iq, ooo, err)
+	}
+	return g.rowFrom(i, res), nil
+}
+
 // Fingerprint identifies the grid's full parameterisation (every axis that
 // changes what a cell index means or measures) for checkpoint validation.
 func (g *Grid) Fingerprint() string {
@@ -136,6 +309,12 @@ func (g *Grid) Run(progress func(done, total int)) ([]Row, error) {
 // RunContext is Run with cancellation, an optional checkpoint, and the
 // grid's resilience knobs (OnError, TaskTimeout, Retries) applied.
 //
+// Cells sharing a benchmark evaluate in batches of up to maxBatchLanes
+// configurations over one decode of the instruction stream
+// (core.RunBatchContext); batching changes only wall-clock, never bytes —
+// every cell's row is identical to an independent run, and workloads whose
+// stream cannot be shared fall back to per-cell simulation.
+//
 // Cells recorded in ck are restored, not re-simulated, and newly completed
 // cells are written back, so an interrupted grid resumes where it stopped;
 // determinism by cell index makes the resumed artefact byte-identical to an
@@ -173,39 +352,18 @@ func (g *Grid) RunContext(ctx context.Context, ck *checkpoint.File[Row], progres
 		Timeout: g.TaskTimeout,
 		Retries: g.Retries,
 	}
+	groups := g.buildGroups()
 	err := par.Run(ctx, total, opts,
 		func(ctx context.Context, i int) error {
 			if ck.Done(i) {
 				return nil
 			}
-			b, pol, iq, ooo := g.cell(i)
-			cfg := pipeline.DefaultConfig()
-			pol.Apply(&cfg)
-			cfg.IQSize = iq
-			cfg.OutOfOrder = ooo
-			res, err := core.RunContext(ctx, core.Config{
-				Workload: b.Params,
-				Pipeline: cfg,
-				Commits:  commits,
-			})
+			row, err := g.cellRow(ctx, i, groups[i], ck, commits)
 			if err != nil {
-				return fmt.Errorf("sweep: %s/%v/iq%d/ooo=%v: %w",
-					b.Name, pol, iq, ooo, err)
+				return err
 			}
-			rows[i] = Row{
-				Bench:       b.Name,
-				FP:          b.FP,
-				Policy:      pol,
-				IQSize:      iq,
-				OutOfOrder:  ooo,
-				IPC:         res.IPC,
-				SDCAVF:      res.Report.SDCAVF(),
-				DUEAVF:      res.Report.DUEAVF(),
-				FalseDUEAVF: res.Report.FalseDUEAVF(),
-				MeritSDC:    serate.Merit(res.IPC, res.Report.SDCAVF()),
-				Squashes:    res.Squashes,
-			}
-			if err := ck.Put(i, rows[i]); err != nil {
+			rows[i] = row
+			if err := ck.Put(i, row); err != nil {
 				return err
 			}
 			if progress != nil {

@@ -114,13 +114,6 @@ func (a *addrStream) deadStore() uint64 {
 	return addr
 }
 
-// wrongPath returns a speculative-path address: uniformly spread over a
-// large distant region, modelling the paper's "do not have the correct
-// memory addresses" wrong-path fetch.
-func (a *addrStream) wrongPath() uint64 {
-	return align(wrongBase + uint64(a.s.Intn(wrongSize)))
-}
-
 // WarmCaches brings the hierarchy to the steady state a long-running
 // SimPoint slice would have reached: the big region resident in L2, the
 // warm region in L1, and the hot region (plus the dead-store ring) in L0.

@@ -659,33 +659,44 @@ func (g *Generator) emitReturn() isa.Inst {
 // same. Wrong-path instructions never commit.
 func (g *Generator) NextWrong() isa.Inst {
 	g.stats.WrongPath++
+	in := wrongInst(g.wrong)
+	in.Seq = g.nextSeq()
+	in.PC = g.nextPC()
+	in.CallDepth = uint8(g.depth)
+	return in
+}
+
+// wrongInst synthesises the content of one wrong-path instruction from the
+// wrong-path stream alone; Seq, PC and CallDepth are the caller's to
+// assign. Keeping the draw a pure function of the stream is what lets the
+// batch evaluator memoise the wrong-path sequence once and replay prefixes
+// of it into any number of machine configurations.
+func wrongInst(s *rng.Stream) isa.Inst {
 	in := isa.Inst{
-		Seq: g.nextSeq(), PC: g.nextPC(),
 		Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone,
 		PredGuard: isa.RegNone, WrongPath: true,
-		CallDepth: uint8(g.depth),
 	}
-	switch g.wrong.Pick([]float64{0.5, 0.15, 0.1, 0.2, 0.05}) {
+	switch s.Pick([]float64{0.5, 0.15, 0.1, 0.2, 0.05}) {
 	case 0:
 		in.Class = isa.ClassALU
-		in.Dest = isa.IntReg(globalLo + g.wrong.Intn(globalHi-globalLo+1))
-		in.Src1 = isa.IntReg(globalLo + g.wrong.Intn(globalHi-globalLo+1))
-		in.Src2 = isa.IntReg(globalLo + g.wrong.Intn(globalHi-globalLo+1))
+		in.Dest = isa.IntReg(globalLo + s.Intn(globalHi-globalLo+1))
+		in.Src1 = isa.IntReg(globalLo + s.Intn(globalHi-globalLo+1))
+		in.Src2 = isa.IntReg(globalLo + s.Intn(globalHi-globalLo+1))
 	case 1:
 		in.Class = isa.ClassLoad
-		in.Dest = isa.IntReg(globalLo + g.wrong.Intn(globalHi-globalLo+1))
-		in.Src1 = isa.IntReg(globalLo + g.wrong.Intn(globalHi-globalLo+1))
-		in.Addr = g.addr.wrongPath()
+		in.Dest = isa.IntReg(globalLo + s.Intn(globalHi-globalLo+1))
+		in.Src1 = isa.IntReg(globalLo + s.Intn(globalHi-globalLo+1))
+		in.Addr = align(wrongBase + uint64(s.Intn(wrongSize)))
 		in.MemSize = 8
 	case 2:
 		in.Class = isa.ClassFPU
-		in.Dest = isa.FPReg(fpGlobalLo + g.wrong.Intn(fpGlobalHi-fpGlobalLo+1))
-		in.Src1 = isa.FPReg(fpGlobalLo + g.wrong.Intn(fpGlobalHi-fpGlobalLo+1))
+		in.Dest = isa.FPReg(fpGlobalLo + s.Intn(fpGlobalHi-fpGlobalLo+1))
+		in.Src1 = isa.FPReg(fpGlobalLo + s.Intn(fpGlobalHi-fpGlobalLo+1))
 	case 3:
 		in.Class = isa.ClassNop
 	default:
 		in.Class = isa.ClassBranch
-		in.Src1 = isa.IntReg(globalLo + g.wrong.Intn(globalHi-globalLo+1))
+		in.Src1 = isa.IntReg(globalLo + s.Intn(globalHi-globalLo+1))
 	}
 	return in
 }

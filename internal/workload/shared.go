@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"softerror/internal/isa"
+	"softerror/internal/rng"
+)
+
+// ErrUnshareable marks a workload whose instruction stream cannot be
+// decoded once and shared across machine configurations. PC-indexed branch
+// predictors (gshare, bimodal) are the one case: wrong-path fetches shift
+// every later correct-path PC by 4 bytes each, so the predictor — and with
+// it the realised mispredict sequence — would observe configuration-
+// dependent PCs. Callers fall back to per-configuration generators.
+var ErrUnshareable = errors.New(
+	"workload: PC-indexed branch predictor makes the stream configuration-dependent")
+
+// Shared is one workload's instruction stream decoded once, for concurrent
+// replay into any number of machine configurations. It memoises two
+// sequences:
+//
+//   - the correct-path body, generated with no wrong-path interleaving at
+//     all, so Body(n) has Seq == n and the PC of a pure correct-path fetch;
+//   - the wrong-path draw sequence, whose j-th element is the content of
+//     the j-th wrong-path instruction any configuration would fetch.
+//
+// Every per-configuration stream is a relabeling of these: a machine that
+// has fetched w wrong-path instructions before correct-path position n
+// fetches Body(n) with Seq n+w and PC Body(n).PC + 4w, and its next
+// wrong-path instruction is Wrong(w) with Seq n+w, PC Body(n).PC + 4w and
+// the call depth of Body(n-1). The relabeling is exact because the
+// generator's streams partition cleanly: the mix/branch/pred/addr/bp
+// streams advance only on correct-path synthesis, the wrong stream only on
+// wrong-path synthesis, and the Seq/PC counters shift uniformly. The
+// stream-sharing seraudit checks pin this equivalence against independent
+// generators.
+//
+// A Shared is not safe for concurrent use: each batch builds (or borrows)
+// its own.
+type Shared struct {
+	gen      *Generator
+	wrongSrc *rng.Stream
+	body     []isa.Inst
+	wrong    []isa.Inst
+}
+
+// NewShared decodes the workload lazily for shared replay. It fails with
+// ErrUnshareable for PC-indexed branch predictors.
+func NewShared(p Params) (*Shared, error) {
+	switch p.BranchPredictor {
+	case "gshare", "bimodal":
+		return nil, fmt.Errorf("%w (%s)", ErrUnshareable, p.BranchPredictor)
+	}
+	gen, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Shared{
+		gen:      gen,
+		wrongSrc: rng.New(p.Seed, 0x5e7e).Derive("wrong"),
+	}, nil
+}
+
+// Body returns the n-th correct-path instruction of the un-interleaved
+// stream (Seq n, pure correct-path PC), extending the memo as needed. The
+// returned pointer is valid until the next Body call extends the memo.
+func (s *Shared) Body(n int) *isa.Inst {
+	for len(s.body) <= n {
+		s.body = append(s.body, s.gen.Next())
+	}
+	return &s.body[n]
+}
+
+// BodyPrefix returns the first m correct-path instructions as a slice —
+// the commit log every variant's deadness analysis classifies (deadness is
+// Seq-value-independent, so the un-relabeled body stands in for any
+// variant's log). The slice aliases the memo: valid until a Body call
+// extends it.
+func (s *Shared) BodyPrefix(m int) []isa.Inst {
+	if m > 0 {
+		s.Body(m - 1)
+	}
+	return s.body[:m]
+}
+
+// Reserve pre-sizes the memos for a run expected to touch about body
+// correct-path and wrong wrong-path instructions, so the memo arrays grow
+// once up front instead of doubling repeatedly mid-run. It only reserves
+// capacity — no instructions are generated — and under-estimates are
+// harmless: the memos keep growing on demand.
+func (s *Shared) Reserve(body, wrong int) {
+	if cap(s.body) < body {
+		grown := make([]isa.Inst, len(s.body), body)
+		copy(grown, s.body)
+		s.body = grown
+	}
+	if cap(s.wrong) < wrong {
+		grown := make([]isa.Inst, len(s.wrong), wrong)
+		copy(grown, s.wrong)
+		s.wrong = grown
+	}
+}
+
+// Wrong returns the content of the j-th wrong-path instruction draw: Seq,
+// PC and CallDepth are zero, for the replaying configuration to assign.
+// The returned pointer is valid until the next Wrong call extends the memo.
+func (s *Shared) Wrong(j int) *isa.Inst {
+	for len(s.wrong) <= j {
+		s.wrong = append(s.wrong, wrongInst(s.wrongSrc))
+	}
+	return &s.wrong[j]
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"softerror/internal/isa"
+	"softerror/internal/rng"
+)
+
+// TestSharedRelabeling pins the stream-sharing identity the batch
+// evaluator rests on: a generator driven with an arbitrary interleaving of
+// Next and NextWrong emits exactly the Shared memo's instructions under the
+// documented Seq/PC/CallDepth relabeling. The interleaving is drawn per
+// seed, so a seed sweep exercises many wrong-path burst patterns.
+func TestSharedRelabeling(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		p := Default()
+		p.Seed = seed
+		p.MispredictRate = 0.05 + 0.02*float64(seed)
+		solo := MustNew(p)
+		sh, err := NewShared(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive := rng.New(seed, 0xAB1E)
+		n, w := 0, 0 // correct-path cursor, wrong-path draws so far
+		for i := 0; i < 20_000; i++ {
+			if n > 0 && drive.Bool(0.08) {
+				want := solo.NextWrong()
+				got := *sh.Wrong(w)
+				got.Seq = uint64(n + w)
+				got.PC = sh.Body(n).PC + 4*uint64(w)
+				got.CallDepth = sh.Body(n - 1).CallDepth
+				w++
+				if want != got {
+					t.Fatalf("seed %d: wrong-path draw %d diverges:\n solo %+v\n memo %+v",
+						seed, w-1, want, got)
+				}
+				continue
+			}
+			want := solo.Next()
+			got := *sh.Body(n)
+			got.Seq += uint64(w)
+			got.PC += 4 * uint64(w)
+			n++
+			if want != got {
+				t.Fatalf("seed %d: correct-path position %d diverges:\n solo %+v\n memo %+v",
+					seed, n-1, want, got)
+			}
+		}
+	}
+}
+
+// TestSharedRejectsPCIndexedPredictors pins the typed fallback error.
+func TestSharedRejectsPCIndexedPredictors(t *testing.T) {
+	for _, bp := range []string{"gshare", "bimodal"} {
+		p := Default()
+		p.BranchPredictor = bp
+		if _, err := NewShared(p); !errors.Is(err, ErrUnshareable) {
+			t.Fatalf("NewShared(%s) = %v, want ErrUnshareable", bp, err)
+		}
+	}
+	p := Default()
+	p.BranchPredictor = "statistical"
+	if _, err := NewShared(p); err != nil {
+		t.Fatalf("NewShared(statistical) = %v", err)
+	}
+}
+
+// TestSharedBodyIsPureCorrectPath pins the memo's coordinate system:
+// Body(n).Seq == n for every n.
+func TestSharedBodyIsPureCorrectPath(t *testing.T) {
+	sh, err := NewShared(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *isa.Inst
+	for n := 0; n < 5_000; n++ {
+		in := sh.Body(n)
+		if in.Seq != uint64(n) {
+			t.Fatalf("Body(%d).Seq = %d", n, in.Seq)
+		}
+		last = in
+	}
+	if last.PC == 0 {
+		t.Fatal("body PCs never advanced")
+	}
+}

@@ -15,9 +15,12 @@
 #      pass over each harness (skip with SERA_SKIP_FUZZ=1 when iterating)
 #   5. smoke tier: the real seratd binary booted on an ephemeral port,
 #      health-checked, served a cached eval and SIGINT-drained
-#   6. bench tier: a single-iteration run of the hot-loop benchmark so a
-#      broken harness fails verify; performance deltas are tracked with
-#      scripts/benchdiff.sh over full -benchtime runs
+#   6. bench tier: a short run of the tracked benchmarks (hot loop +
+#      batched sweep), gated against the committed BENCH_<date>.json
+#      snapshot with scripts/benchdiff.sh — fails loudly past a 10%
+#      regression. Skip with SERA_SKIP_BENCH=1 when iterating; widen with
+#      BENCH_GATE_PCT on noisy or different machines (snapshots are
+#      machine-local baselines)
 set -eux
 
 fmtdirs="$(gofmt -l cmd internal examples scripts *.go)"
@@ -36,9 +39,16 @@ if [ -z "${SERA_SKIP_FUZZ:-}" ]; then
 	go test -run NONE -fuzz FuzzParsePolicy -fuzztime 10s ./internal/core
 	go test -run NONE -fuzz FuzzCheckpointLoad -fuzztime 10s ./internal/checkpoint
 	go test -run NONE -fuzz FuzzEvalRequest -fuzztime 10s ./internal/server
+	go test -run NONE -fuzz FuzzSweepRequest -fuzztime 10s ./internal/server
+	go test -run NONE -fuzz FuzzJobPath -fuzztime 10s ./internal/server
 fi
 sh scripts/smoke_seratd.sh
-# bench tier: one iteration of the hot-loop benchmark, as a smoke test that
-# the benchmark harness still compiles and runs; compare real runs across
-# revisions with scripts/benchdiff.sh.
-go test -run NONE -bench PipelineHotLoop -benchtime 1x -benchmem .
+# bench tier: capture the tracked benchmarks and gate against the newest
+# committed BENCH_<date>.json snapshot; a deliberate performance change
+# ships a refreshed snapshot (scripts/benchdiff.sh -snapshot).
+if [ -z "${SERA_SKIP_BENCH:-}" ]; then
+	bench_out=$(mktemp)
+	trap 'rm -f "$bench_out"' EXIT
+	go test -run NONE -bench 'PipelineHotLoop$|BatchedSweep' -benchtime 2x -benchmem . | tee "$bench_out"
+	scripts/benchdiff.sh -gate "$bench_out"
+fi
