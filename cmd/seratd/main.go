@@ -6,20 +6,38 @@
 //	seratd -addr :8080
 //	curl -d '{"experiment":"table1","benches":"gzip" ...}' localhost:8080/v1/eval
 //
+// Fleet mode turns several daemons into one sharded sweep engine. A
+// coordinator partitions sweep jobs into cell-range leases and routes them
+// to worker daemons by consistent hashing of the cells' content addresses;
+// workers are plain daemons that joined the fleet:
+//
+//	seratd -coordinator -addr :8080 -workers 127.0.0.1:8081,127.0.0.1:8082
+//	seratd -addr :8081 -join 127.0.0.1:8080   # or register explicitly
+//
+// Worker failures are absorbed: leases retry with jittered backoff, then
+// move to surviving workers (work stealing); with no healthy worker the
+// coordinator degrades to local execution. The answer bytes are identical
+// either way.
+//
 // On SIGINT/SIGTERM the daemon drains: new work is rejected, accepted
 // jobs finish (or, with -checkpoint set, are interrupted and
 // checkpointed), then the process exits. No accepted job is dropped.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"softerror/internal/cli"
+	"softerror/internal/fleet"
 	"softerror/internal/server"
 )
 
@@ -36,11 +54,21 @@ func run(args []string) error {
 	cacheMB := fs.Int64("cachemb", 64, "result cache budget in MiB")
 	ckDir := fs.String("checkpoint", "", "directory for interrupted-job checkpoints (empty: drain waits for jobs to finish)")
 	drainWait := fs.Duration("drainwait", time.Minute, "maximum time to wait for in-flight work at shutdown")
+	coord := fs.Bool("coordinator", false, "run as fleet coordinator: dispatch sweep jobs to workers as leases")
+	workers := fs.String("workers", "", "comma-separated worker addresses to register at startup (coordinator mode)")
+	join := fs.String("join", "", "coordinator address to register this daemon with as a worker")
+	leaseCells := fs.Int("leasecells", 4, "grid cells per fleet lease (coordinator mode)")
+	leaseTimeout := fs.Duration("leasetimeout", 2*time.Minute, "per-attempt lease deadline (coordinator mode)")
+	leaseRetries := fs.Int("leaseretries", 2, "lease re-deliveries on the same worker before reassignment (coordinator mode)")
+	heartbeat := fs.Duration("heartbeat", 5*time.Second, "worker health-probe period (coordinator mode)")
 	if err := d.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return cli.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	if !*coord && *workers != "" {
+		return cli.Usagef("-workers requires -coordinator")
 	}
 	if *ckDir != "" {
 		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
@@ -51,6 +79,25 @@ func run(args []string) error {
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
+	var co *fleet.Coordinator
+	if *coord {
+		co = fleet.NewCoordinator(fleet.Config{
+			LeaseCells:     *leaseCells,
+			LeaseTimeout:   *leaseTimeout,
+			Retries:        *leaseRetries,
+			HeartbeatEvery: *heartbeat,
+		})
+		defer co.Close()
+		for _, addr := range strings.Split(*workers, ",") {
+			if addr = strings.TrimSpace(addr); addr == "" {
+				continue
+			}
+			if err := co.Register(addr); err != nil {
+				return err
+			}
+		}
+	}
+
 	srv := server.New(server.Config{
 		MaxJobs:       *maxJobs,
 		MaxQueue:      *maxQueue,
@@ -58,6 +105,7 @@ func run(args []string) error {
 		Workers:       d.Jobs(),
 		CacheBytes:    *cacheMB << 20,
 		CheckpointDir: *ckDir,
+		Fleet:         co,
 	})
 	defer srv.Close()
 
@@ -72,7 +120,18 @@ func run(args []string) error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "seratd: listening on %s\n", bound)
+	role := "daemon"
+	if *coord {
+		role = "coordinator"
+	}
+	fmt.Fprintf(os.Stderr, "seratd: %s listening on %s\n", role, bound)
+	if *join != "" {
+		if err := joinFleet(ctx, *join, bound); err != nil {
+			ln.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "seratd: joined fleet at %s\n", *join)
+	}
 
 	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
@@ -96,4 +155,38 @@ func run(args []string) error {
 	}
 	fmt.Fprintln(os.Stderr, "seratd: drained")
 	return nil
+}
+
+// joinFleet registers this daemon's bound address with a coordinator,
+// retrying briefly so worker and coordinator can boot in either order.
+func joinFleet(ctx context.Context, coord, bound string) error {
+	body, err := json.Marshal(fleet.RegisterRequest{Addr: bound})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 1; attempt <= 10; attempt++ {
+		if attempt > 1 {
+			select {
+			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		resp, err := http.Post("http://"+coord+"/v1/fleet/register", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		lastErr = fmt.Errorf("HTTP %d: %.200s", resp.StatusCode, data)
+		if resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusNotFound {
+			break // the coordinator rejected us for keeps; retrying cannot help
+		}
+	}
+	return fmt.Errorf("seratd: join fleet at %s: %w", coord, lastErr)
 }

@@ -2,8 +2,10 @@
 // randomised seeds: every structural property the reproduction's numbers
 // rest on — residency conservation, fast-path ≡ single-step, stream ≡
 // batch, batched K-config ≡ K independent runs, -j 1 ≡ -j N, kill/resume
-// identity, content-address injectivity, cache byte-identity, job-lifecycle
-// monotonicity — audited over fresh random configurations each seed.
+// identity, strike-partition merge exactness, trace save/load round-trip,
+// content-address injectivity, cache byte-identity, job-lifecycle
+// monotonicity, fleet ≡ local byte-identity under injected worker chaos —
+// audited over fresh random configurations each seed.
 //
 //	seraudit              # all checks, seeds 1..20
 //	seraudit -quick       # all checks, seeds 1..3 (the race/CI tier)

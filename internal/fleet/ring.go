@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ringVnodes is how many virtual points each worker owns on the hash
+// circle. More vnodes smooth the keyspace split; 64 keeps the per-worker
+// share within a few percent of even for small fleets while the ring stays
+// tiny to build.
+const ringVnodes = 64
+
+// ring is a consistent-hash circle over worker addresses. Routing a cell's
+// content address through the ring gives cache affinity twice over: the
+// same cell lands on the same worker across sweeps (so the worker's
+// fingerprint-keyed LRU shards the content-addressed space), and losing one
+// worker reroutes only that worker's arc instead of reshuffling every
+// assignment.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// hash64 maps a key to a point on the circle: the first 8 bytes of its
+// SHA-256, matching the fingerprint scheme's collision stance.
+func hash64(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the circle over the given worker addresses.
+func newRing(addrs []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(addrs)*ringVnodes)}
+	for _, a := range addrs {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", a, v)),
+				addr: a,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// route returns the worker owning key: the first point clockwise from the
+// key's hash, wrapping at the top of the circle.
+func (r *ring) route(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}

@@ -89,6 +89,16 @@ func All() []Check {
 			Run:  checkCheckpointResume,
 		},
 		{
+			Name: "fault-partition",
+			Doc:  "strike tallies from arbitrary shuffled partitions of the strike space merge exactly to the single-range campaign's",
+			Run:  checkFaultPartition,
+		},
+		{
+			Name: "traceview-roundtrip",
+			Doc:  "a trace saved and loaded again is structurally identical and re-encodes to the same bytes",
+			Run:  checkTraceviewRoundtrip,
+		},
+		{
 			Name: "fingerprint-injectivity",
 			Doc:  "distinct normalised eval requests never share a content address; spelled-out defaults share one with the implicit form",
 			Run:  checkFingerprintInjectivity,
@@ -102,6 +112,11 @@ func All() []Check {
 			Name: "job-lifecycle",
 			Doc:  "job event streams are dense in Seq, monotonic in done, terminal exactly once and replay identically",
 			Run:  checkJobLifecycle,
+		},
+		{
+			Name: "fleet-identity",
+			Doc:  "a grid run locally, on a one-worker fleet, and on a chaos-injected three-worker fleet renders byte-identical CSV",
+			Run:  checkFleetIdentity,
 		},
 	}
 }

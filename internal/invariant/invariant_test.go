@@ -31,7 +31,8 @@ func TestCheckNamesStable(t *testing.T) {
 	want := []string{
 		"residency-conservation", "trace-differential", "stream-batch",
 		"batched-independent", "parallel-determinism", "checkpoint-resume",
-		"fingerprint-injectivity", "cache-concurrency", "job-lifecycle",
+		"fault-partition", "traceview-roundtrip", "fingerprint-injectivity",
+		"cache-concurrency", "job-lifecycle", "fleet-identity",
 	}
 	got := All()
 	if len(got) != len(want) {

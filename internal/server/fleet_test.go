@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"softerror/internal/fleet"
+)
+
+func TestLeaseEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	sp := fleet.GridSpec{
+		Benches:  []string{"mcf"},
+		Policies: []string{"baseline"},
+		IQSizes:  []int{16, 32, 64},
+		Commits:  400,
+	}
+	req := fleet.LeaseRequest{
+		Lease:  "lease-000001",
+		Grid:   sp,
+		Ranges: []fleet.Range{{Lo: 0, Hi: 2}},
+	}
+	rec := do(s, "POST", "/v1/lease", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("lease returned %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp fleet.LeaseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Lease != req.Lease || len(resp.Rows) != 2 {
+		t.Fatalf("lease response %q with %d rows, want %q with 2", resp.Lease, len(resp.Rows), req.Lease)
+	}
+
+	// The served rows must be the exact rows a local run computes for the
+	// same cells — the byte-identity contract at its smallest scale.
+	g, err := sp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := g.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, cr := range resp.Rows {
+		if cr.Index != k {
+			t.Fatalf("row %d answers cell %d", k, cr.Index)
+		}
+		if !reflect.DeepEqual(cr.Row, want[cr.Index]) {
+			t.Fatalf("leased cell %d differs from the local row:\n%+v\n%+v", cr.Index, cr.Row, want[cr.Index])
+		}
+	}
+}
+
+func TestLeaseEndpointRejects(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	mcf := fleet.GridSpec{Benches: []string{"mcf"}, Policies: []string{"baseline"}}
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"malformed json", json.RawMessage(`{`)},
+		{"unknown field", json.RawMessage(`{"lease":"l","nope":1}`)},
+		{"bad grid", fleet.LeaseRequest{
+			Lease:  "l",
+			Grid:   fleet.GridSpec{Benches: []string{"nope"}, Policies: []string{"baseline"}},
+			Ranges: []fleet.Range{{Lo: 0, Hi: 1}},
+		}},
+		{"empty ranges", fleet.LeaseRequest{Lease: "l", Grid: mcf}},
+		{"inverted range", fleet.LeaseRequest{
+			Lease: "l", Grid: mcf, Ranges: []fleet.Range{{Lo: 1, Hi: 0}},
+		}},
+		{"beyond bounds", fleet.LeaseRequest{
+			Lease: "l", Grid: mcf, Ranges: []fleet.Range{{Lo: 0, Hi: 99}},
+		}},
+	}
+	for _, c := range cases {
+		if rec := do(s, "POST", "/v1/lease", c.body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: lease returned %d, want 400; body: %.200s", c.name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestLeaseEndpointDraining(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req := fleet.LeaseRequest{
+		Lease:  "l",
+		Grid:   fleet.GridSpec{Benches: []string{"mcf"}, Policies: []string{"baseline"}},
+		Ranges: []fleet.Range{{Lo: 0, Hi: 1}},
+	}
+	if rec := do(s, "POST", "/v1/lease", req); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("lease during drain returned %d, want 503", rec.Code)
+	}
+}
+
+func TestFleetRegisterEndpoint(t *testing.T) {
+	plain := newTestServer(t, Config{})
+	if rec := do(plain, "POST", "/v1/fleet/register", fleet.RegisterRequest{Addr: "127.0.0.1:9999"}); rec.Code != http.StatusNotFound {
+		t.Fatalf("register on a non-coordinator returned %d, want 404", rec.Code)
+	}
+
+	co := fleet.NewCoordinator(fleet.Config{})
+	t.Cleanup(co.Close)
+	s := newTestServer(t, Config{Fleet: co})
+
+	rec := do(s, "POST", "/v1/fleet/register", fleet.RegisterRequest{Addr: "127.0.0.1:9999"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("register returned %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp fleet.RegisterResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workers != 1 {
+		t.Fatalf("register acknowledged %d workers, want 1", resp.Workers)
+	}
+	// Idempotent: the same worker re-registering does not grow the fleet.
+	rec = do(s, "POST", "/v1/fleet/register", fleet.RegisterRequest{Addr: "127.0.0.1:9999"})
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workers != 1 {
+		t.Fatalf("re-register grew the fleet to %d workers", resp.Workers)
+	}
+	if rec := do(s, "POST", "/v1/fleet/register", fleet.RegisterRequest{Addr: "http://evil/"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("register with a bad addr returned %d, want 400", rec.Code)
+	}
+}
+
+// TestCoordinatorJobDegradesToLocal pins graceful degradation end to end:
+// a coordinator-mode server whose only registered worker is unreachable
+// must still finish a sweep job — through the coordinator's local
+// fallback — and the job must end done, not failed.
+func TestCoordinatorJobDegradesToLocal(t *testing.T) {
+	co := fleet.NewCoordinator(fleet.Config{})
+	t.Cleanup(co.Close)
+	s := newTestServer(t, Config{Fleet: co})
+	if err := co.Register("127.0.0.1:9"); err != nil { // discard port: nothing listens
+		t.Fatal(err)
+	}
+
+	acc := submitSweep(t, s, SweepRequest{
+		Benches:  []string{"mcf"},
+		Policies: []string{"baseline"},
+		Commits:  400,
+	})
+	st := waitTerminal(t, s, acc.ID)
+	if st.State != JobDone {
+		t.Fatalf("coordinator job ended %q, want done: %+v", st.State, st)
+	}
+	if snap := co.Snapshot(); snap.LocalFallbacks < 1 {
+		t.Fatalf("LocalFallbacks = %d, want >= 1 (the only worker is unreachable)", snap.LocalFallbacks)
+	}
+}

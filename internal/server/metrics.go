@@ -24,6 +24,7 @@ type metrics struct {
 	jobsDone        *expvar.Int // terminal: every cell completed
 	jobsFailed      *expvar.Int // terminal: grid error
 	jobsInterrupted *expvar.Int // terminal: drained mid-flight
+	leasesServed    *expvar.Int // fleet leases executed to completion
 }
 
 // newMetrics wires the counter set plus derived gauges: simulated cycle
@@ -46,6 +47,7 @@ func newMetrics(start time.Time, cache *Cache) *metrics {
 	m.jobsDone = counter("jobs_done")
 	m.jobsFailed = counter("jobs_failed")
 	m.jobsInterrupted = counter("jobs_interrupted")
+	m.leasesServed = counter("leases_served")
 	m.vars.Set("cache_entries", expvar.Func(func() any { return cache.Len() }))
 	m.vars.Set("cache_bytes", expvar.Func(func() any { return cache.Bytes() }))
 	m.vars.Set("mcycles_simulated", expvar.Func(func() any {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"net/http"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 
 	"softerror/internal/checkpoint"
 	"softerror/internal/core"
+	"softerror/internal/fleet"
 	"softerror/internal/par"
 	"softerror/internal/spec"
 	"softerror/internal/sweep"
@@ -38,6 +40,13 @@ type Config struct {
 	// checkpoint them there (fingerprint-named files) instead of waiting
 	// for them to finish; resubmitting an interrupted grid resumes it.
 	CheckpointDir string
+	// Fleet, when set, runs this server as a fleet coordinator: sweep jobs
+	// are partitioned into leases and dispatched across the coordinator's
+	// registered workers (degrading to local execution when none are
+	// healthy), /v1/fleet/register admits workers, and /metrics grows a
+	// fleet aggregate. The server does not own the coordinator — the
+	// embedder closes it.
+	Fleet *fleet.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +123,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/csv", s.handleJobCSV)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/lease", s.handleLease)
+	s.mux.HandleFunc("POST /v1/fleet/register", s.handleFleetRegister)
+	if cfg.Fleet != nil {
+		s.metrics.vars.Set("fleet", expvar.Func(func() any { return cfg.Fleet.Snapshot() }))
+	}
 	return s
 }
 
@@ -422,6 +436,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, SweepAccepted{ID: id, Total: j.Total})
 }
 
+// runGrid executes a sweep grid: through the fleet coordinator when this
+// server runs in coordinator mode, locally otherwise. Both paths honour the
+// checkpoint and render byte-identical rows — the fleet's contract.
+func (s *Server) runGrid(ctx context.Context, g *sweep.Grid, ck *checkpoint.File[sweep.Row], progress func(done, total int)) ([]sweep.Row, error) {
+	if s.cfg.Fleet != nil {
+		return s.cfg.Fleet.Run(ctx, g, ck, progress)
+	}
+	return g.RunContext(ctx, ck, progress)
+}
+
 // runJob drives one accepted sweep job to a terminal state. It owns the
 // job's wg token; every exit path records a terminal event first.
 func (s *Server) runJob(j *Job, g *sweep.Grid) {
@@ -456,7 +480,7 @@ func (s *Server) runJob(j *Job, g *sweep.Grid) {
 		}
 	}
 
-	rows, err := g.RunContext(s.jobsCtx, ck, func(done, total int) { j.progress(done) })
+	rows, err := s.runGrid(s.jobsCtx, g, ck, func(done, total int) { j.progress(done) })
 	switch {
 	case err == nil:
 		if ck != nil {

@@ -155,20 +155,35 @@ type groupRun struct {
 }
 
 // buildGroups assigns every cell to its batch group.
-func (g *Grid) buildGroups() []*groupRun {
+func (g *Grid) buildGroups() map[int]*groupRun {
+	all := make([]int, g.Size())
+	for i := range all {
+		all[i] = i
+	}
+	return g.buildGroupsFor(all)
+}
+
+// buildGroupsFor assigns each of the given cells to a batch group. Cells of
+// one benchmark are spread round-robin over ceil(count/maxBatchLanes)
+// groups, exactly as buildGroups spreads the full grid — a lease holding a
+// subset of a bench's cells still batches them over one decode.
+func (g *Grid) buildGroupsFor(indices []int) map[int]*groupRun {
 	blk := len(g.Policies) * len(g.IQSizes) * len(g.OutOfOrder)
-	ng := (blk + maxBatchLanes - 1) / maxBatchLanes
-	index := make([]*groupRun, g.Size())
-	for bi, b := range g.Benches {
-		base := bi * blk
+	byBench := make(map[int][]int)
+	for _, i := range indices {
+		byBench[i/blk] = append(byBench[i/blk], i)
+	}
+	index := make(map[int]*groupRun, len(indices))
+	for bi, cells := range byBench {
+		ng := (len(cells) + maxBatchLanes - 1) / maxBatchLanes
 		benchGroups := make([]*groupRun, ng)
 		for k := range benchGroups {
-			benchGroups[k] = &groupRun{bench: b, rows: make(map[int]Row)}
+			benchGroups[k] = &groupRun{bench: g.Benches[bi], rows: make(map[int]Row)}
 		}
-		for o := 0; o < blk; o++ {
+		for o, i := range cells {
 			gr := benchGroups[o%ng]
-			gr.members = append(gr.members, base+o)
-			index[base+o] = gr
+			gr.members = append(gr.members, i)
+			index[i] = gr
 		}
 	}
 	return index
@@ -294,6 +309,20 @@ func (g *Grid) Fingerprint() string {
 	return checkpoint.Fingerprint(parts...)
 }
 
+// CellFingerprint content-addresses cell i's full parameterisation —
+// benchmark, policy, geometry, commit budget — independent of the grid that
+// contains it. Two grids sharing a cell share its fingerprint, which is
+// what lets a fleet route the cell to the same worker (and that worker's
+// content-addressed cache) no matter which sweep asked for it.
+func (g *Grid) CellFingerprint(i int) string {
+	b, pol, iq, ooo := g.cell(i)
+	commits := g.Commits
+	if commits == 0 {
+		commits = core.DefaultCommits
+	}
+	return checkpoint.Fingerprint("sweep-cell", commits, b.Name, uint8(pol), iq, ooo)
+}
+
 // Run executes the grid on the worker pool and returns one row per cell, in
 // axis order (benchmark-major) regardless of scheduling: each worker writes
 // only its own index of a pre-sized slice. progress, if non-nil, is called
@@ -386,6 +415,70 @@ func (g *Grid) RunContext(ctx context.Context, ck *checkpoint.File[Row], progres
 		return rows, err
 	}
 	return rows, nil
+}
+
+// RunIndices executes exactly the given cells of the grid and returns their
+// rows index-parallel to indices (out[k] is cell indices[k]). It is the
+// lease-execution primitive of fleet mode: a worker handed an arbitrary
+// subset of a grid produces rows identical to the ones a full local run
+// computes for those cells — batching within the subset included. Cells
+// recorded in ck are restored rather than re-simulated and newly completed
+// cells are written back; ck may be nil. progress, when non-nil, is called
+// with a monotonic done count over len(indices).
+func (g *Grid) RunIndices(ctx context.Context, indices []int, ck *checkpoint.File[Row], progress func(done, total int)) ([]Row, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	commits := g.Commits
+	if commits == 0 {
+		commits = core.DefaultCommits
+	}
+	size := g.Size()
+	for _, i := range indices {
+		if i < 0 || i >= size {
+			return nil, fmt.Errorf("sweep: cell index %d outside grid of %d cells", i, size)
+		}
+	}
+	out := make([]Row, len(indices))
+	done := 0
+	var mu sync.Mutex
+	groups := g.buildGroupsFor(indices)
+	opts := par.Options{
+		Workers: g.Workers,
+		Policy:  g.OnError,
+		Timeout: g.TaskTimeout,
+		Retries: g.Retries,
+	}
+	err := par.Run(ctx, len(indices), opts,
+		func(ctx context.Context, k int) error {
+			i := indices[k]
+			if v, ok := ck.Get(i); ok {
+				out[k] = v
+			} else {
+				row, err := g.cellRow(ctx, i, groups[i], ck, commits)
+				if err != nil {
+					return err
+				}
+				out[k] = row
+				if err := ck.Put(i, row); err != nil {
+					return err
+				}
+			}
+			if progress != nil {
+				mu.Lock()
+				done++
+				progress(done, len(indices))
+				mu.Unlock()
+			}
+			return nil
+		})
+	if serr := ck.Save(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, nil
 }
 
 // csvHeader is the long-format column set.

@@ -15,7 +15,13 @@
 #      pass over each harness (skip with SERA_SKIP_FUZZ=1 when iterating)
 #   5. smoke tier: the real seratd binary booted on an ephemeral port,
 #      health-checked, served a cached eval and SIGINT-drained
-#   6. bench tier: a short run of the tracked benchmarks (hot loop +
+#   6. fleet tier: the coordinator/worker suite under the race detector,
+#      the fleet-identity invariant (fleet CSV ≡ local CSV under injected
+#      worker crash/hang/error/slow chaos) and the real-process fleet
+#      smoke: a coordinator plus two worker daemons, one killed -9
+#      mid-sweep, byte-identical output demanded anyway. Skip with
+#      SERA_SKIP_FLEET=1 when iterating on unrelated code
+#   7. bench tier: a short run of the tracked benchmarks (hot loop +
 #      batched sweep), gated against the committed BENCH_<date>.json
 #      snapshot with scripts/benchdiff.sh — fails loudly past a 10%
 #      regression. Skip with SERA_SKIP_BENCH=1 when iterating; widen with
@@ -41,8 +47,15 @@ if [ -z "${SERA_SKIP_FUZZ:-}" ]; then
 	go test -run NONE -fuzz FuzzEvalRequest -fuzztime 10s ./internal/server
 	go test -run NONE -fuzz FuzzSweepRequest -fuzztime 10s ./internal/server
 	go test -run NONE -fuzz FuzzJobPath -fuzztime 10s ./internal/server
+	go test -run NONE -fuzz FuzzLeaseRequest -fuzztime 10s ./internal/fleet
+	go test -run NONE -fuzz FuzzWorkerRegister -fuzztime 10s ./internal/fleet
 fi
 sh scripts/smoke_seratd.sh
+if [ -z "${SERA_SKIP_FLEET:-}" ]; then
+	go test -race ./internal/fleet
+	go run -race ./cmd/seraudit -check fleet-identity -quick
+	sh scripts/smoke_fleet.sh
+fi
 # bench tier: capture the tracked benchmarks and gate against the newest
 # committed BENCH_<date>.json snapshot; a deliberate performance change
 # ships a refreshed snapshot (scripts/benchdiff.sh -snapshot).
