@@ -32,7 +32,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -61,6 +63,8 @@ func run(args []string) error {
 	leaseTimeout := fs.Duration("leasetimeout", 2*time.Minute, "per-attempt lease deadline (coordinator mode)")
 	leaseRetries := fs.Int("leaseretries", 2, "lease re-deliveries on the same worker before reassignment (coordinator mode)")
 	heartbeat := fs.Duration("heartbeat", 5*time.Second, "worker health-probe period (coordinator mode)")
+	withPprof := fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
+	memLimit := fs.Int64("memlimit", 0, "soft Go heap limit in MiB (0: no limit); see runtime/debug.SetMemoryLimit")
 	if err := d.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +78,12 @@ func run(args []string) error {
 		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
 			return err
 		}
+	}
+	if *memLimit < 0 {
+		return cli.Usagef("-memlimit must be >= 0, got %d", *memLimit)
+	}
+	if *memLimit > 0 {
+		debug.SetMemoryLimit(*memLimit << 20)
 	}
 
 	ctx, stop := cli.SignalContext()
@@ -133,7 +143,7 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "seratd: joined fleet at %s\n", *join)
 	}
 
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: buildHandler(srv, *withPprof)}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -155,6 +165,26 @@ func run(args []string) error {
 	}
 	fmt.Fprintln(os.Stderr, "seratd: drained")
 	return nil
+}
+
+// buildHandler wraps the API handler with the optional pprof surface. The
+// daemon serves its own handler, not http.DefaultServeMux, so the blank
+// net/http/pprof import idiom would register the profiles on a mux nothing
+// serves; instead the handlers are mounted explicitly on a private mux with
+// the API as the fallback route. Off by default: the profile endpoints
+// expose internals and cost CPU, so they are opt-in like expvar scraping.
+func buildHandler(api http.Handler, withPprof bool) http.Handler {
+	if !withPprof {
+		return api
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // joinFleet registers this daemon's bound address with a coordinator,

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// stubAPI stands in for the server handler: any route it receives is
+// answered 200 with a marker body.
+type stubAPI struct{ hits int }
+
+func (s *stubAPI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.hits++
+	w.Write([]byte("api"))
+}
+
+func TestBuildHandlerWithoutPprof(t *testing.T) {
+	api := &stubAPI{}
+	h := buildHandler(api, false)
+	if h != http.Handler(api) {
+		t.Fatalf("buildHandler(api, false) should return the API handler unwrapped")
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if api.hits != 1 {
+		t.Fatalf("pprof path off: want the API to see the request, hits=%d", api.hits)
+	}
+}
+
+func TestBuildHandlerWithPprof(t *testing.T) {
+	api := &stubAPI{}
+	h := buildHandler(api, true)
+
+	// The profile index answers from the pprof surface, not the API.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if api.hits != 0 {
+		t.Fatalf("pprof index leaked through to the API")
+	}
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", rr.Code)
+	}
+	if rr.Body.Len() == 0 {
+		t.Fatalf("pprof index returned an empty body")
+	}
+
+	// Every other route still reaches the API.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if api.hits != 1 || rr.Body.String() != "api" {
+		t.Fatalf("API route lost behind the pprof mux: hits=%d body=%q", api.hits, rr.Body.String())
+	}
+}

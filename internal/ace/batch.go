@@ -123,16 +123,43 @@ type BatchCollector struct {
 // group. The RegFile analysis needs per-commit cycle retention that the
 // batched path does not carry; request it through the solo path.
 func NewBatchCollector(cfg CollectorConfig, group *BatchGroup) (*BatchCollector, error) {
-	if cfg.RegFile {
-		return nil, fmt.Errorf("ace: the RegFile analysis is not available on the batched path")
+	c := &BatchCollector{}
+	if err := c.Reset(cfg, group); err != nil {
+		return nil, err
 	}
-	c := &BatchCollector{cfg: cfg, group: group}
+	return c, nil
+}
+
+// Reset re-arms a finished collector for a new lane, reusing the commit
+// record and bitmap storage — the collector's two big allocations — so a
+// pooled collector's steady state allocates nothing. Safe after Finish:
+// the returned Reports are detached copies and the deadness views own
+// their seqs, so resetting never mutates previously returned results.
+func (c *BatchCollector) Reset(cfg CollectorConfig, group *BatchGroup) error {
+	if cfg.RegFile {
+		return fmt.Errorf("ace: the RegFile analysis is not available on the batched path")
+	}
+	c.cfg, c.group = cfg, group
 	// A lane overshoots its commit target by at most IssueWidth-1 commits
 	// (one final multi-issue cycle); the slack keeps the last commits from
 	// hitting the grow path.
-	c.recs = make([]commitRec, cfg.Commits+16)
-	c.bits = make([]uint64, (len(c.recs)+63)/64)
-	return c, nil
+	want := int(cfg.Commits) + 16
+	nb := (want + 63) / 64
+	if cap(c.recs) < want || cap(c.bits) < nb {
+		c.recs = make([]commitRec, want)
+		c.bits = make([]uint64, nb)
+	} else {
+		c.recs = c.recs[:want]
+		c.bits = c.bits[:nb]
+		clear(c.recs)
+		clear(c.bits)
+	}
+	c.n, c.commits = 0, 0
+	c.iq, c.fe, c.sb = Report{}, Report{}, SBReport{}
+	c.wrongIQ = [4]struct{ wait, linger uint64 }{}
+	c.fePending = c.fePending[:0]
+	c.sbPending = c.sbPending[:0]
+	return nil
 }
 
 // BatchCommit implements pipeline.BatchSink. Out-of-order lanes commit in
@@ -318,12 +345,17 @@ func (c *BatchCollector) Finish(cycles uint64) *Reports {
 		}
 		c.iq.addRead(a.wait, a.linger, CatWrongPath, key&2 != 0, key&1 != 0)
 	}
+	// The returned Reports are value copies detached from the collector's
+	// own fields (Report and SBReport are flat apart from the Dead pointer,
+	// whose view is built fresh above), so a later Reset-and-reuse of this
+	// collector cannot reach back into results a caller retained.
 	c.iq.Cycles = cycles
 	c.iq.Entries = c.cfg.IQSize
 	c.iq.BitsPer = isa.EntryPayloadBits
 	c.iq.Dead = dead
 	c.iq.finalize()
-	out := &Reports{IQ: &c.iq, Dead: dead}
+	iq := c.iq
+	out := &Reports{IQ: &iq, Dead: dead}
 
 	if c.cfg.FrontEnd {
 		for i := range c.fePending {
@@ -343,7 +375,8 @@ func (c *BatchCollector) Finish(cycles uint64) *Reports {
 		c.fe.BitsPer = isa.EntryPayloadBits
 		c.fe.Dead = dead
 		c.fe.finalize()
-		out.FrontEnd = &c.fe
+		fe := c.fe
+		out.FrontEnd = &fe
 	}
 	if c.cfg.StoreBuffer {
 		for i := range c.sbPending {
@@ -357,7 +390,8 @@ func (c *BatchCollector) Finish(cycles uint64) *Reports {
 		c.sb.Cycles = cycles
 		c.sb.Entries = c.cfg.StoreBufferCap
 		c.sb.finalize()
-		out.StoreBuffer = &c.sb
+		sb := c.sb
+		out.StoreBuffer = &sb
 	}
 	return out
 }

@@ -166,6 +166,25 @@ func (c *Cache) Clone() *Cache {
 	}
 }
 
+// CloneInto is Clone writing into dst's backing storage when dst has the
+// same configuration, so a pooled cache can be re-stamped from a warm
+// template without reallocating its line arrays. Any dst (nil, or a cache
+// of different geometry) falls back to a fresh Clone. The returned cache is
+// bit-identical to Clone's result either way.
+func (c *Cache) CloneInto(dst *Cache) *Cache {
+	if dst == nil || dst.cfg != c.cfg || len(dst.sets) != len(c.sets) {
+		return c.Clone()
+	}
+	for i := range c.sets {
+		copy(dst.sets[i], c.sets[i])
+	}
+	dst.setMask = c.setMask
+	dst.offsetBits = c.offsetBits
+	dst.clock = c.clock
+	dst.stats = c.stats
+	return dst
+}
+
 // Stats returns a snapshot of the access counters.
 func (c *Cache) Stats() Stats { return c.stats }
 

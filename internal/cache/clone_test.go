@@ -1,6 +1,9 @@
 package cache
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestHierarchyCloneIndependence checks a clone carries the parent's exact
 // state and then evolves independently.
@@ -29,6 +32,46 @@ func TestHierarchyCloneIndependence(t *testing.T) {
 	}
 	if h.Level(0).Stats() != before {
 		t.Fatal("accessing the clone mutated the parent's L0")
+	}
+}
+
+// TestCloneIntoMatchesClone pins the arena-reuse property: re-stamping a
+// dirty pooled hierarchy from a warm template must produce exactly the
+// state a fresh Clone would, every field, every line.
+func TestCloneIntoMatchesClone(t *testing.T) {
+	warm := MustNewDefault()
+	for a := uint64(0); a < 1<<17; a += 64 {
+		warm.Access(a, a%192 == 0)
+	}
+
+	// Dirty a pooled hierarchy with a completely different access pattern,
+	// including an OnEvict hook and prefetcher state the re-stamp must shed.
+	pooled := MustNewDefault()
+	pooled.NextLinePrefetch = true
+	pooled.OnEvict = func(Eviction) {}
+	for a := uint64(1 << 28); a < 1<<28+1<<16; a += 32 {
+		pooled.Access(a, true)
+	}
+
+	want := warm.Clone()
+	got := warm.CloneInto(pooled)
+	if got != pooled {
+		t.Fatal("CloneInto allocated a fresh hierarchy despite a compatible dst")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("CloneInto state differs from Clone")
+	}
+
+	// Incompatible destinations fall back to a fresh clone.
+	small, err := NewHierarchy(HierarchyConfig{
+		Levels:     []Config{{Name: "L0", Size: 4 << 10, LineSize: 64, Assoc: 2, HitLatency: 1}},
+		MemLatency: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb := warm.CloneInto(small); fb == small || !reflect.DeepEqual(fb, want) {
+		t.Fatal("CloneInto into an incompatible hierarchy must fall back to Clone")
 	}
 }
 

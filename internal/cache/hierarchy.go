@@ -133,6 +133,29 @@ func (h *Hierarchy) Clone() *Hierarchy {
 	return c
 }
 
+// CloneInto is Clone writing into dst's storage when dst has the same
+// shape, so a pooled hierarchy can be re-stamped from a warm template
+// without reallocating ~capacity bytes of line arrays per simulation. Any
+// dst (nil, or a hierarchy of different shape) falls back to a fresh
+// Clone. Like Clone, the result carries no OnEvict hook and is
+// bit-identical to warming a fresh hierarchy — the cache clone tests pin
+// CloneInto against Clone field for field.
+func (h *Hierarchy) CloneInto(dst *Hierarchy) *Hierarchy {
+	if dst == nil || len(dst.levels) != len(h.levels) {
+		return h.Clone()
+	}
+	dst.memLatency = h.memLatency
+	dst.OnEvict = nil
+	dst.NextLinePrefetch = h.NextLinePrefetch
+	dst.memAccesses = h.memAccesses
+	dst.hwPrefetches = h.hwPrefetches
+	dst.inHWPrefetch = false
+	for i, lv := range h.levels {
+		dst.levels[i] = lv.CloneInto(dst.levels[i])
+	}
+	return dst
+}
+
 // NumLevels returns the number of cache levels (excluding memory).
 func (h *Hierarchy) NumLevels() int { return len(h.levels) }
 

@@ -31,28 +31,41 @@ type BatchSpec struct {
 // to per-spec RunContext. Caches are always pre-warmed (the batched path
 // serves sweeps and suites, which never skip warming).
 func RunBatchContext(ctx context.Context, w workload.Params, commits uint64, specs []BatchSpec) ([]*Result, error) {
+	a := defaultArenas.Get()
+	defer defaultArenas.Put(a)
+	return RunBatchArena(ctx, a, w, commits, specs)
+}
+
+// RunBatchArena is RunBatchContext drawing all reusable evaluation state —
+// decoded stream memos, warm hierarchies, collectors, lane state — from
+// the caller's arena. Arena reuse is invisible in the results: a reused
+// arena returns byte-identical Results to a fresh one (the arena-reuse
+// seraudit check pins this). The arena serves one run at a time.
+func RunBatchArena(ctx context.Context, a *Arena, w workload.Params, commits uint64, specs []BatchSpec) ([]*Result, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
+	}
+	if a == nil {
+		a = NewArena()
 	}
 	if commits == 0 {
 		commits = DefaultCommits
 	}
-	sh, err := workload.NewShared(w)
+	sh, group, err := a.stream(w)
 	if err != nil {
 		return nil, err
 	}
 	// Pre-size the shared memos: every lane walks ~commits body
 	// instructions (plus a small overshoot), and wrong-path draws run a
 	// fraction of that. One up-front reservation replaces the log2(commits)
-	// append-doublings the memos would otherwise pay.
+	// append-doublings the memos would otherwise pay; on a reused stream
+	// the memos are already materialised and this is a no-op.
 	sh.Reserve(int(commits)+1024, int(commits)/4+256)
-	group := ace.NewBatchGroup(sh)
 
-	// Warm one hierarchy and clone it per lane: Clone is bit-identical to
-	// replaying the warm-up (pinned by the cache clone tests), and a memcpy
-	// of the warm state is far cheaper than re-simulating it K times.
-	warm := workload.WarmedDefault()
-
+	// Warm hierarchies come re-stamped from the arena's pool: CloneInto is
+	// bit-identical to a fresh warm clone (pinned by the cache clone
+	// tests), and a memcpy of the warm state is far cheaper than
+	// re-simulating the warm-up K times.
 	zero := pipeline.Config{}
 	cfgs := make([]pipeline.Config, len(specs))
 	mems := make([]*cache.Hierarchy, len(specs))
@@ -64,14 +77,10 @@ func RunBatchContext(ctx context.Context, w workload.Params, commits uint64, spe
 			cfg = pipeline.DefaultConfig()
 		}
 		cfgs[i] = cfg
-		if i == 0 {
-			mems[i] = warm
-		} else {
-			mems[i] = warm.Clone()
-		}
+		mems[i] = a.warmHierarchy()
 		ccfg := ace.StructureConfig(cfg, commits)
 		ccfg.FrontEnd, ccfg.StoreBuffer = sp.FrontEnd, sp.StoreBuffer
-		coll, err := ace.NewBatchCollector(ccfg, group)
+		coll, err := a.collector(ccfg, group)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +88,7 @@ func RunBatchContext(ctx context.Context, w workload.Params, commits uint64, spe
 		sinks[i] = coll
 	}
 
-	stats, err := pipeline.RunBatchStream(ctx, commits, sh, cfgs, mems, sinks)
+	stats, err := pipeline.RunBatchStreamArena(ctx, commits, sh, cfgs, mems, sinks, &a.pipe)
 	if err != nil {
 		return nil, err
 	}
@@ -88,6 +97,8 @@ func RunBatchContext(ctx context.Context, w workload.Params, commits uint64, spe
 	for i := range specs {
 		st := stats[i]
 		reps := colls[i].Finish(st.Cycles)
+		a.putCollector(colls[i])
+		a.putHierarchy(mems[i])
 		simCycles.Add(st.Cycles)
 		out[i] = &Result{
 			Name:              w.Name,

@@ -563,9 +563,11 @@ func OutcomesCampaign(ctx context.Context, b spec.Benchmark, commits uint64, str
 		commits = DefaultCommits
 	}
 	// Stream the simulation: the ace collector integrates the AVFs while a
-	// teed recorder retains just the IQ intervals and commit log the
-	// injector samples — no full trace is materialised.
-	rec := fault.NewStreamRecorder(commits)
+	// teed recorder (pooled: figure drivers run one campaign per roster
+	// benchmark, and the interval/log buffers dominate each) retains just
+	// the IQ intervals and commit log the injector samples — no full trace
+	// is materialised.
+	rec := fault.GetStreamRecorder(commits)
 	res, err := RunContext(ctx, Config{Workload: b.Params, Commits: commits, Sink: rec})
 	if err != nil {
 		return nil, err
@@ -581,6 +583,9 @@ func OutcomesCampaign(ctx context.Context, b spec.Benchmark, commits uint64, str
 	if err != nil {
 		return nil, err
 	}
+	// The campaign results hold only outcome tallies — nothing aliases the
+	// recorded stream once Run returns — so the buffers can recycle.
+	rec.Release()
 	rows := make([]OutcomeRow, len(campaigns))
 	for i, r := range campaigns {
 		rows[i] = OutcomeRow{Label: labels[i], Strikes: r.Strikes, Counts: r.Counts}

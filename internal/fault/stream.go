@@ -2,6 +2,7 @@ package fault
 
 import (
 	"sort"
+	"sync"
 
 	"softerror/internal/ace"
 	"softerror/internal/isa"
@@ -23,10 +24,36 @@ type StreamRecorder struct {
 // (pass 0 when unknown).
 func NewStreamRecorder(commits uint64) *StreamRecorder {
 	rec := &StreamRecorder{}
-	if commits > 0 {
+	rec.reset(commits)
+	return rec
+}
+
+// recorderPool recycles recorder buffers across campaign runs: the IQ
+// residency list and the commit log are the two large per-campaign
+// allocations, and figure drivers run one campaign per roster benchmark.
+var recorderPool = sync.Pool{New: func() any { return new(StreamRecorder) }}
+
+// GetStreamRecorder is NewStreamRecorder drawing from a process-wide pool.
+// Pair with Release once every Injector built over the recorder is done.
+func GetStreamRecorder(commits uint64) *StreamRecorder {
+	rec := recorderPool.Get().(*StreamRecorder)
+	rec.reset(commits)
+	return rec
+}
+
+// Release returns the recorder's buffers to the pool. The caller must be
+// finished with the recorder AND with every Injector built from it — the
+// injector aliases the recorded slices, it does not copy them.
+func (rec *StreamRecorder) Release() {
+	recorderPool.Put(rec)
+}
+
+func (rec *StreamRecorder) reset(commits uint64) {
+	rec.res = rec.res[:0]
+	rec.log = rec.log[:0]
+	if commits > 0 && uint64(cap(rec.log)) < commits {
 		rec.log = make([]isa.Inst, 0, commits)
 	}
-	return rec
 }
 
 // OnResidency implements pipeline.Sink.

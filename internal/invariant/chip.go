@@ -1,0 +1,220 @@
+package invariant
+
+import (
+	"fmt"
+
+	"softerror/internal/cache"
+	"softerror/internal/chip"
+	"softerror/internal/rng"
+)
+
+// planOptions mirrors the assignment alphabet chip.Plan searches: no
+// protection, bare parity, parity with full π tracking, ECC.
+var planOptions = []struct {
+	prot     cache.Protection
+	tracking float64
+}{
+	{cache.ProtNone, 0},
+	{cache.ProtParity, 0},
+	{cache.ProtParity, 1},
+	{cache.ProtECC, 0},
+}
+
+// randomChipBudget draws a small structure inventory with AVFs, sizes and
+// targets spanning from trivially-met to infeasible. The structure count is
+// capped at 4 so the oracle can brute-force all 4^n assignments.
+func randomChipBudget(s *rng.Stream) *chip.Budget {
+	b := &chip.Budget{
+		RawFITPerBit:   1e-5 * (0.05 + s.Float64()),
+		SDCTargetYears: 100 * (0.1 + 20*s.Float64()),
+		DUETargetYears: 1 + 30*s.Float64(),
+	}
+	n := 2 + s.Intn(3)
+	for i := 0; i < n; i++ {
+		opt := planOptions[s.Intn(len(planOptions))]
+		b.Structures = append(b.Structures, chip.Structure{
+			Name:        fmt.Sprintf("s%d", i),
+			Bits:        float64(1 + s.Intn(1<<20)),
+			SDCAVF:      0.6 * s.Float64(),
+			FalseDUEAVF: 0.6 * s.Float64(),
+			Protection:  opt.prot,
+			Tracking:    opt.tracking * s.Float64(),
+		})
+	}
+	return b
+}
+
+// better mirrors chip.Plan's candidate ordering: lower AreaCost first, ties
+// broken by lower total FIT.
+func betterEval(a, b chip.Evaluation) bool {
+	if a.AreaCost != b.AreaCost {
+		return a.AreaCost < b.AreaCost
+	}
+	return float64(a.SDC+a.DUE) < float64(b.SDC+b.DUE)
+}
+
+// checkChipPlan pins the budget arithmetic the §2 framework rests on, over
+// randomised inventories:
+//
+//   - mix-cost monotonicity: upgrading one structure one step along
+//     none→parity→ECC never lowers AreaCost and never raises chip SDC, and
+//     deploying more π tracking on a parity structure never raises DUE while
+//     leaving AreaCost and SDC untouched;
+//   - decomposition: chip SDC/DUE are exactly the sums of the per-structure
+//     Contribution terms;
+//   - plan optimality: Plan's answer matches a brute-force sweep of every
+//     assignment under the same ordering — equal AreaCost and equal total
+//     FIT — and Plan errors exactly when the sweep finds nothing feasible.
+func checkChipPlan(seed uint64, opt Options) error {
+	_ = opt.withDefaults()
+	s := rng.New(seed, 0xC819)
+
+	for trial := 0; trial < 20; trial++ {
+		b := randomChipBudget(s)
+		ev, err := b.Evaluate()
+		if err != nil {
+			return err
+		}
+
+		// Decomposition: the chip rates are the plain sums of the
+		// per-structure contributions, accumulated in inventory order.
+		var sdc, due float64
+		for i := range b.Structures {
+			cs, cd := b.Structures[i].Contribution(b.RawFITPerBit)
+			sdc += float64(cs)
+			due += float64(cd)
+		}
+		if float64(ev.SDC) != sdc || float64(ev.DUE) != due {
+			return fmt.Errorf("trial %d: Evaluate (SDC=%g DUE=%g) is not the sum of Contributions (SDC=%g DUE=%g)",
+				trial, float64(ev.SDC), float64(ev.DUE), sdc, due)
+		}
+
+		// Mix-cost monotonicity: one-step protection upgrades on one random
+		// structure.
+		i := s.Intn(len(b.Structures))
+		for _, up := range []struct{ from, to cache.Protection }{
+			{cache.ProtNone, cache.ProtParity},
+			{cache.ProtParity, cache.ProtECC},
+		} {
+			lo := cloneBudget(b)
+			lo.Structures[i].Protection = up.from
+			hi := cloneBudget(b)
+			hi.Structures[i].Protection = up.to
+			loEv, err := lo.Evaluate()
+			if err != nil {
+				return err
+			}
+			hiEv, err := hi.Evaluate()
+			if err != nil {
+				return err
+			}
+			if hiEv.AreaCost < loEv.AreaCost {
+				return fmt.Errorf("trial %d: upgrading %q %v→%v lowered AreaCost %g→%g",
+					trial, b.Structures[i].Name, up.from, up.to, loEv.AreaCost, hiEv.AreaCost)
+			}
+			if float64(hiEv.SDC) > float64(loEv.SDC) {
+				return fmt.Errorf("trial %d: upgrading %q %v→%v raised SDC %g→%g",
+					trial, b.Structures[i].Name, up.from, up.to, float64(loEv.SDC), float64(hiEv.SDC))
+			}
+		}
+		// More tracking on a parity structure: DUE weakly falls, AreaCost
+		// and SDC are unchanged.
+		lo := cloneBudget(b)
+		lo.Structures[i].Protection = cache.ProtParity
+		lo.Structures[i].Tracking = s.Float64()
+		hi := cloneBudget(lo)
+		hi.Structures[i].Tracking = lo.Structures[i].Tracking +
+			(1-lo.Structures[i].Tracking)*s.Float64()
+		loEv, err := lo.Evaluate()
+		if err != nil {
+			return err
+		}
+		hiEv, err := hi.Evaluate()
+		if err != nil {
+			return err
+		}
+		if float64(hiEv.DUE) > float64(loEv.DUE) {
+			return fmt.Errorf("trial %d: more tracking on %q raised DUE %g→%g",
+				trial, b.Structures[i].Name, float64(loEv.DUE), float64(hiEv.DUE))
+		}
+		if hiEv.AreaCost != loEv.AreaCost || hiEv.SDC != loEv.SDC {
+			return fmt.Errorf("trial %d: tracking on %q changed AreaCost or SDC", trial, b.Structures[i].Name)
+		}
+
+		// Plan optimality against the brute-force oracle.
+		planned, plannedEv, planErr := b.Plan()
+		oracleEv, feasible, err := bruteForceBest(b)
+		if err != nil {
+			return err
+		}
+		switch {
+		case !feasible:
+			if planErr == nil {
+				return fmt.Errorf("trial %d: Plan returned a mix (AreaCost=%g) but no assignment meets the targets",
+					trial, plannedEv.AreaCost)
+			}
+		case planErr != nil:
+			return fmt.Errorf("trial %d: Plan failed but the oracle found a feasible mix (AreaCost=%g): %w",
+				trial, oracleEv.AreaCost, planErr)
+		default:
+			if !plannedEv.MeetsSDC || !plannedEv.MeetsDUE {
+				return fmt.Errorf("trial %d: Plan's mix misses its own targets", trial)
+			}
+			if plannedEv.AreaCost != oracleEv.AreaCost ||
+				float64(plannedEv.SDC+plannedEv.DUE) != float64(oracleEv.SDC+oracleEv.DUE) {
+				return fmt.Errorf("trial %d: Plan (AreaCost=%g, FIT=%g) is not oracle-optimal (AreaCost=%g, FIT=%g)",
+					trial, plannedEv.AreaCost, float64(plannedEv.SDC+plannedEv.DUE),
+					oracleEv.AreaCost, float64(oracleEv.SDC+oracleEv.DUE))
+			}
+			// The returned budget must re-evaluate to the evaluation it was
+			// reported with.
+			reEv, err := planned.Evaluate()
+			if err != nil {
+				return err
+			}
+			if reEv != plannedEv {
+				return fmt.Errorf("trial %d: Plan's budget re-evaluates differently", trial)
+			}
+		}
+	}
+	return nil
+}
+
+// bruteForceBest sweeps every protection assignment and returns the best
+// feasible evaluation under Plan's ordering.
+func bruteForceBest(b *chip.Budget) (best chip.Evaluation, feasible bool, err error) {
+	n := len(b.Structures)
+	assign := make([]int, n)
+	for {
+		cand := cloneBudget(b)
+		for k, a := range assign {
+			cand.Structures[k].Protection = planOptions[a].prot
+			cand.Structures[k].Tracking = planOptions[a].tracking
+		}
+		ev, evErr := cand.Evaluate()
+		if evErr != nil {
+			return chip.Evaluation{}, false, evErr
+		}
+		if ev.MeetsSDC && ev.MeetsDUE && (!feasible || betterEval(ev, best)) {
+			best, feasible = ev, true
+		}
+		// Odometer increment over the assignment vector.
+		k := 0
+		for ; k < n; k++ {
+			assign[k]++
+			if assign[k] < len(planOptions) {
+				break
+			}
+			assign[k] = 0
+		}
+		if k == n {
+			return best, feasible, nil
+		}
+	}
+}
+
+func cloneBudget(b *chip.Budget) *chip.Budget {
+	c := *b
+	c.Structures = append([]chip.Structure(nil), b.Structures...)
+	return &c
+}

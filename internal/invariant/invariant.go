@@ -79,6 +79,11 @@ func All() []Check {
 			Run:  checkBatchedIndependent,
 		},
 		{
+			Name: "arena-reuse",
+			Doc:  "evaluation on a dirtied arena or shared arena pool is bit-identical to fresh-state runs, and retained Results survive reuse",
+			Run:  checkArenaReuse,
+		},
+		{
 			Name: "parallel-determinism",
 			Doc:  "a random sweep grid renders byte-identical CSV at -j 1 and -j N",
 			Run:  checkParallelDeterminism,
@@ -92,6 +97,16 @@ func All() []Check {
 			Name: "fault-partition",
 			Doc:  "strike tallies from arbitrary shuffled partitions of the strike space merge exactly to the single-range campaign's",
 			Run:  checkFaultPartition,
+		},
+		{
+			Name: "pi-bit-safety",
+			Doc:  "no π-bit tracking configuration — any level, PET size or window — suppresses an outcome-changing error",
+			Run:  checkPiBitSafety,
+		},
+		{
+			Name: "chipplan-monotonicity",
+			Doc:  "chip budget arithmetic decomposes per-structure, protection upgrades are cost/SDC-monotone, and Plan matches a brute-force oracle",
+			Run:  checkChipPlan,
 		},
 		{
 			Name: "traceview-roundtrip",

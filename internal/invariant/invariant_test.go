@@ -30,9 +30,11 @@ func TestAllChecksHold(t *testing.T) {
 func TestCheckNamesStable(t *testing.T) {
 	want := []string{
 		"residency-conservation", "trace-differential", "stream-batch",
-		"batched-independent", "parallel-determinism", "checkpoint-resume",
-		"fault-partition", "traceview-roundtrip", "fingerprint-injectivity",
-		"cache-concurrency", "job-lifecycle", "fleet-identity",
+		"batched-independent", "arena-reuse", "parallel-determinism",
+		"checkpoint-resume", "fault-partition", "pi-bit-safety",
+		"chipplan-monotonicity", "traceview-roundtrip",
+		"fingerprint-injectivity", "cache-concurrency", "job-lifecycle",
+		"fleet-identity",
 	}
 	got := All()
 	if len(got) != len(want) {

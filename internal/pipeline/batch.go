@@ -294,9 +294,41 @@ func RunBatch(ctx context.Context, commits uint64, src BatchSource, cfgs []Confi
 	return RunBatchStream(ctx, commits, src, cfgs, mems, bs)
 }
 
+// BatchArena owns the batched engine's reusable allocations: the lane
+// structs and the shared queue slabs. A zero BatchArena is ready to use;
+// passing the same arena to successive runs reuses its storage, so a sweep
+// worker's steady state allocates no lane state at all. An arena serves
+// one run at a time (not concurrency-safe), and reuse is invisible in the
+// results: every lane field is rebuilt from scratch each run — the
+// arena-reuse seraudit check pins fresh ≡ reused byte-identity.
+type BatchArena struct {
+	lanes  []*batchLane
+	iqSlab []biqEntry
+	feSlab []bfeEntry
+	sbSlab []bsbEntry
+}
+
+// slab returns buf resized to n entries, reusing its backing array when
+// the capacity suffices; reused entries are cleared so an old run's
+// content pointers don't pin evicted stream memos.
+func slab[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 // RunBatchStream is RunBatch for compact sinks — the zero-reconstruction
 // hot path ace.BatchCollector rides.
 func RunBatchStream(ctx context.Context, commits uint64, src BatchSource, cfgs []Config, mems []*cache.Hierarchy, sinks []BatchSink) ([]Stats, error) {
+	return RunBatchStreamArena(ctx, commits, src, cfgs, mems, sinks, nil)
+}
+
+// RunBatchStreamArena is RunBatchStream drawing lane state from a; nil
+// runs with one-shot allocations exactly as before.
+func RunBatchStreamArena(ctx context.Context, commits uint64, src BatchSource, cfgs []Config, mems []*cache.Hierarchy, sinks []BatchSink, a *BatchArena) ([]Stats, error) {
 	if src == nil {
 		return nil, fmt.Errorf("pipeline: nil batch source")
 	}
@@ -315,7 +347,7 @@ func RunBatchStream(ctx context.Context, commits uint64, src BatchSource, cfgs [
 			return nil, fmt.Errorf("pipeline: batch lane %d: nil memory", i)
 		}
 	}
-	lanes := newLanes(src, cfgs, mems, sinks)
+	lanes := newLanes(src, cfgs, mems, sinks, a)
 
 	for target := uint64(0); target < commits; {
 		target += batchChunk
@@ -335,46 +367,71 @@ func RunBatchStream(ctx context.Context, commits uint64, src BatchSource, cfgs [
 		ln.stats.Cycles = ln.cycle
 		out[i] = ln.stats
 	}
+	// Shed per-run references so a pooled arena holds only its own slabs:
+	// sources, hierarchies and sinks belong to the caller, and keeping them
+	// reachable would pin a whole workload's memos past its eviction.
+	for _, ln := range lanes {
+		ln.src, ln.slicer, ln.mem, ln.sink, ln.body = nil, nil, nil, nil, nil
+	}
 	return out, nil
 }
 
-// newLanes builds every lane over shared backing slabs: one allocation per
-// queue kind for the whole batch instead of three per lane.
-func newLanes(src BatchSource, cfgs []Config, mems []*cache.Hierarchy, sinks []BatchSink) []*batchLane {
+// newLanes builds every lane over shared backing slabs — one allocation
+// per queue kind for the whole batch instead of three per lane — drawing
+// the lane structs, slabs and per-lane queue buffers from the arena when
+// one is supplied. Reused lanes are rebuilt field by field (a whole-struct
+// overwrite), so a recycled lane starts from exactly the state a fresh
+// allocation would.
+func newLanes(src BatchSource, cfgs []Config, mems []*cache.Hierarchy, sinks []BatchSink, a *BatchArena) []*batchLane {
+	if a == nil {
+		a = &BatchArena{}
+	}
 	var iqTotal, feTotal, sbTotal int
 	for i := range cfgs {
 		iqTotal += cfgs[i].IQSize
 		feTotal += cfgs[i].FrontEndCap()
 		sbTotal += cfgs[i].StoreBufferSize
 	}
-	iqSlab := make([]biqEntry, iqTotal)
-	feSlab := make([]bfeEntry, feTotal)
-	sbSlab := make([]bsbEntry, sbTotal)
+	a.iqSlab = slab(a.iqSlab, iqTotal)
+	a.feSlab = slab(a.feSlab, feTotal)
+	a.sbSlab = slab(a.sbSlab, sbTotal)
 
+	for len(a.lanes) < len(cfgs) {
+		a.lanes = append(a.lanes, &batchLane{})
+	}
 	slicer, _ := src.(bodySlicer)
-	lanes := make([]*batchLane, len(cfgs))
+	lanes := a.lanes[:len(cfgs)]
 	iqOff, feOff, sbOff := 0, 0, 0
 	for i := range cfgs {
 		cfg := cfgs[i]
 		feCap := cfg.FrontEndCap()
-		ln := &batchLane{
+		ln := lanes[i]
+		refetch := slab(ln.refetch, cfg.IQSize+feCap)[:0]
+		squashQ := ln.squashQ[:0]
+		if cap(squashQ) < 8 {
+			squashQ = make([]squashEvent, 0, 8)
+		}
+		throttleQ := ln.throttleQ[:0]
+		if cap(throttleQ) < 8 {
+			throttleQ = make([]throttleEvent, 0, 8)
+		}
+		*ln = batchLane{
 			cfg:       cfg,
 			src:       src,
 			slicer:    slicer,
 			mem:       mems[i],
 			sink:      sinks[i],
 			feCap:     feCap,
-			refetch:   make([]streamRef, 0, cfg.IQSize+feCap),
-			squashQ:   make([]squashEvent, 0, 8),
-			throttleQ: make([]throttleEvent, 0, 8),
+			refetch:   refetch,
+			squashQ:   squashQ,
+			throttleQ: throttleQ,
 		}
-		ln.iq.buf = iqSlab[iqOff : iqOff+cfg.IQSize]
-		ln.fe.buf = feSlab[feOff : feOff+feCap]
-		ln.sb.buf = sbSlab[sbOff : sbOff+cfg.StoreBufferSize]
+		ln.iq.buf = a.iqSlab[iqOff : iqOff+cfg.IQSize]
+		ln.fe.buf = a.feSlab[feOff : feOff+feCap]
+		ln.sb.buf = a.sbSlab[sbOff : sbOff+cfg.StoreBufferSize]
 		iqOff += cfg.IQSize
 		feOff += feCap
 		sbOff += cfg.StoreBufferSize
-		lanes[i] = ln
 	}
 	return lanes
 }

@@ -76,6 +76,11 @@ type Server struct {
 	cache   *Cache
 	metrics *metrics
 	suites  *suitePool
+	// arenas is shared by every sweep job and fleet lease the daemon
+	// serves: decoded workload memos and warm evaluation buffers survive
+	// from one job's batches to the next (and across a checkpoint-resumed
+	// job's two legs) instead of being rebuilt per batch wave.
+	arenas *core.ArenaPool
 
 	// lifeCtx lives until Close: suites and eval computations run on it so
 	// an in-flight eval finishes during drain. jobsCtx is cancelled at
@@ -105,6 +110,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		cache:   NewCache(cfg.CacheBytes),
+		arenas:  core.NewArenaPool(),
 		flights: make(map[string]*flight),
 		jobs:    make(map[string]*Job),
 		byFP:    make(map[string]*Job),
@@ -337,6 +343,7 @@ func (s *Server) buildGrid(req SweepRequest) (*sweep.Grid, error) {
 		Commits:    req.Commits,
 		Workers:    s.cfg.Workers,
 		Retries:    req.Retries,
+		Arenas:     s.arenas,
 	}
 	if len(g.IQSizes) == 0 {
 		g.IQSizes = []int{64}

@@ -50,6 +50,14 @@ type Grid struct {
 	// hung cells; cells are index-deterministic, so a retried cell is
 	// byte-identical to a first-try cell.
 	Retries int
+	// Arenas supplies the reusable per-worker evaluation state (decoded
+	// stream memos, warm hierarchies, collectors, lane slabs): each batch
+	// leader checks one arena out for its whole batch and returns it, so
+	// state carries across waves, grid chunks and checkpoint resumes.
+	// Long-lived callers (seratd) share one pool across jobs and fleet
+	// leases; nil falls back to the process-wide default pool. Arena reuse
+	// never changes bytes — the arena-reuse seraudit check pins it.
+	Arenas *core.ArenaPool
 }
 
 // Row is one cell's measurements.
@@ -251,7 +259,14 @@ func (g *Grid) leadBatch(ctx context.Context, gr *groupRun, ck *checkpoint.File[
 		_, cfg := g.cellConfig(j)
 		specs[k] = core.BatchSpec{Pipeline: cfg}
 	}
-	res, err := core.RunBatchContext(ctx, gr.bench.Params, commits, specs)
+	var res []*core.Result
+	if pool := g.Arenas; pool != nil {
+		a := pool.Get()
+		res, err = core.RunBatchArena(ctx, a, gr.bench.Params, commits, specs)
+		pool.Put(a)
+	} else {
+		res, err = core.RunBatchContext(ctx, gr.bench.Params, commits, specs)
+	}
 	if err != nil {
 		if errors.Is(err, workload.ErrUnshareable) {
 			gr.mu.Lock()

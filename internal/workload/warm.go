@@ -21,9 +21,22 @@ var (
 // WarmCaches, but paying for the warm sweep only once per process. Each call
 // returns an independent copy, safe to hand to a concurrent simulation.
 func WarmedDefault() *cache.Hierarchy {
+	return warmed().Clone()
+}
+
+// WarmedInto is WarmedDefault re-stamping dst's storage (cache.CloneInto):
+// the arena path hands back pooled hierarchies from finished simulations
+// and receives them warmed again without reallocating the line arrays. A
+// nil or incompatible dst yields a fresh clone; the returned state is
+// bit-identical to WarmedDefault's either way.
+func WarmedInto(dst *cache.Hierarchy) *cache.Hierarchy {
+	return warmed().CloneInto(dst)
+}
+
+func warmed() *cache.Hierarchy {
 	warmOnce.Do(func() {
 		warmSnapshot = cache.MustNewDefault()
 		WarmCaches(warmSnapshot)
 	})
-	return warmSnapshot.Clone()
+	return warmSnapshot
 }

@@ -23,10 +23,16 @@
 # lexicographically newest BENCH_*.json in the repository root, which the
 # date naming makes the chronologically newest — and exits 1 when any
 # metric regressed by more than BENCH_GATE_PCT percent (default 10).
-# Regression direction is metric-aware: per-op costs (ns/op, B/op,
-# allocs/op) regress upward, throughputs (Mcycles/s and other */s rates)
-# regress downward. Snapshots are machine-local baselines: regenerate after
-# a hardware change, don't compare across machines.
+# Regression direction is metric-aware:
+#
+#   - per-op costs regress UPWARD: ns/op, B/op, allocs/op, and cost-like
+#     custom metrics (ipc-loss, missed-errors);
+#   - rates and gains regress DOWNWARD: */s throughputs (Mcycles/s),
+#     speedup, mitf-gain, sdc-avf-reduction, commit-coverage;
+#   - environment facts are never gated: workers, benchmarks.
+#
+# Snapshots are machine-local baselines: regenerate after a hardware
+# change, don't compare across machines.
 set -eu
 
 # Snapshots live in the repository root regardless of where the script is
@@ -122,6 +128,15 @@ case "${1:-}" in
 	parse "$2" | sort > "$new_tmp"
 	diff_triples "$old_tmp" "$new_tmp"
 	awk -v pct="${BENCH_GATE_PCT:-10}" -v snap="$snap" '
+	# worse_sign(metric): +1 when the metric regresses upward (a cost),
+	# -1 when it regresses downward (a rate or gain), 0 to exempt it.
+	function worse_sign(m) {
+		if (m ~ /\/s$/) return -1
+		if (m == "speedup" || m == "mitf-gain") return -1
+		if (m == "sdc-avf-reduction" || m == "commit-coverage") return -1
+		if (m == "workers" || m == "benchmarks") return 0
+		return 1  # ns/op, B/op, allocs/op, ipc-loss, missed-errors, ...
+	}
 	NR == FNR { old[$1 " " $2] = $3; next }
 	{
 		key = $1 " " $2
@@ -130,8 +145,7 @@ case "${1:-}" in
 		n = $3 + 0
 		if (o == 0) next
 		delta = 100 * (n - o) / o
-		# Throughput rates regress downward, per-op costs upward.
-		worse = ($2 ~ /\/s$/) ? -delta : delta
+		worse = worse_sign($2) * delta
 		if (worse > pct) {
 			printf "REGRESSION %s %s: %g -> %g (%+.1f%%, gate %g%%)\n", $1, $2, o, n, delta, pct
 			bad = 1
