@@ -1,10 +1,12 @@
 // Command seratd serves the repository's AVF-evaluation engine over HTTP:
 // single evaluations with a content-addressed result cache, sweep-grid
-// jobs with admission control and live progress streaming, and
-// expvar-backed metrics.
+// jobs with admission control and live progress streaming, analytic AVF
+// upper bounds (GET /v1/bound — served from the cache without simulating
+// a single cycle or consuming an eval slot), and expvar-backed metrics.
 //
 //	seratd -addr :8080
 //	curl -d '{"experiment":"table1","benches":"gzip" ...}' localhost:8080/v1/eval
+//	curl 'localhost:8080/v1/bound?bench=gzip&iqsize=32&ooo=true'
 //
 // Fleet mode turns several daemons into one sharded sweep engine. A
 // coordinator partitions sweep jobs into cell-range leases and routes them

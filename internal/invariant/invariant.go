@@ -133,6 +133,11 @@ func All() []Check {
 			Doc:  "a grid run locally, on a one-worker fleet, and on a chaos-injected three-worker fleet renders byte-identical CSV",
 			Run:  checkFleetIdentity,
 		},
+		{
+			Name: "static-bounds",
+			Doc:  "static per-structure and per-bit-class AVF bounds dominate simulated AVF, and /v1/bound serves byte-deterministically with zero cycles simulated",
+			Run:  checkStaticBounds,
+		},
 	}
 }
 

@@ -34,7 +34,7 @@ func TestCheckNamesStable(t *testing.T) {
 		"checkpoint-resume", "fault-partition", "pi-bit-safety",
 		"chipplan-monotonicity", "traceview-roundtrip",
 		"fingerprint-injectivity", "cache-concurrency", "job-lifecycle",
-		"fleet-identity",
+		"fleet-identity", "static-bounds",
 	}
 	got := All()
 	if len(got) != len(want) {

@@ -25,6 +25,8 @@ type metrics struct {
 	jobsFailed      *expvar.Int // terminal: grid error
 	jobsInterrupted *expvar.Int // terminal: drained mid-flight
 	leasesServed    *expvar.Int // fleet leases executed to completion
+	boundQueries    *expvar.Int // /v1/bound requests received
+	boundsServed    *expvar.Int // bounds answered (cache hit or static analysis)
 }
 
 // newMetrics wires the counter set plus derived gauges: simulated cycle
@@ -48,6 +50,8 @@ func newMetrics(start time.Time, cache *Cache) *metrics {
 	m.jobsFailed = counter("jobs_failed")
 	m.jobsInterrupted = counter("jobs_interrupted")
 	m.leasesServed = counter("leases_served")
+	m.boundQueries = counter("bound_queries")
+	m.boundsServed = counter("bounds_served")
 	m.vars.Set("cache_entries", expvar.Func(func() any { return cache.Len() }))
 	m.vars.Set("cache_bytes", expvar.Func(func() any { return cache.Bytes() }))
 	m.vars.Set("mcycles_simulated", expvar.Func(func() any {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -123,6 +124,7 @@ func New(cfg Config) *Server {
 	s.evalGate = newGate(cfg.MaxEvals)
 
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("GET /v1/bound", s.handleBound)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
@@ -312,6 +314,11 @@ type SweepAccepted struct {
 	// non-failed job for the identical grid, which is returned instead of
 	// re-running.
 	Deduplicated bool `json:"deduplicated,omitempty"`
+	// EstimatedMcycles is the static cost model's price for the whole
+	// grid, in millions of simulated cycles — computed analytically at
+	// admission, before any simulation runs. Zero when the grid cannot
+	// be priced (a stream the analyzer cannot decode).
+	EstimatedMcycles float64 `json:"estimated_mcycles,omitempty"`
 }
 
 // maxSweepCells bounds an accepted grid's cell count: the benchmark and
@@ -440,7 +447,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.jobsQueued.Add(1)
 	go s.runJob(j, g)
-	writeJSON(w, http.StatusAccepted, SweepAccepted{ID: id, Total: j.Total})
+	acc := SweepAccepted{ID: id, Total: j.Total}
+	if est, ok := g.EstimateCells(); ok {
+		var sum uint64
+		for _, c := range est {
+			sum += c
+		}
+		acc.EstimatedMcycles = float64(sum) / 1e6
+	}
+	writeJSON(w, http.StatusAccepted, acc)
 }
 
 // runGrid executes a sweep grid: through the fleet coordinator when this
@@ -450,7 +465,36 @@ func (s *Server) runGrid(ctx context.Context, g *sweep.Grid, ck *checkpoint.File
 	if s.cfg.Fleet != nil {
 		return s.cfg.Fleet.Run(ctx, g, ck, progress)
 	}
-	return g.RunContext(ctx, ck, progress)
+	// Local execution runs cells cheapest-first by the static cost model:
+	// quick cells surface early progress and stragglers drain last. Rows
+	// are scattered back to cell order, so the served bytes are identical
+	// to an unordered run's.
+	order, ok := g.OrderCheapest()
+	if !ok {
+		return g.RunContext(ctx, ck, progress)
+	}
+	out, err := g.RunIndices(ctx, order, ck, progress)
+	rows := make([]sweep.Row, g.Size())
+	for k, i := range order {
+		if k < len(out) {
+			rows[i] = out[k]
+		}
+	}
+	// Failure indices refer to positions in the execution order; remap
+	// them to cell indices so blame, skip sets and retries stay aligned
+	// with the grid.
+	var errs par.Errors
+	var te *par.TaskError
+	switch {
+	case errors.As(err, &errs):
+		for _, e := range errs {
+			e.Index = order[e.Index]
+		}
+		sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+	case errors.As(err, &te):
+		te.Index = order[te.Index]
+	}
+	return rows, err
 }
 
 // runJob drives one accepted sweep job to a terminal state. It owns the

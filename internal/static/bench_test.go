@@ -1,0 +1,36 @@
+package static
+
+import (
+	"testing"
+
+	"softerror/internal/pipeline"
+	"softerror/internal/workload"
+)
+
+// BenchmarkStaticBound measures the warm bound-query path: the per-config
+// cost /v1/bound pays after the program view is built. One iteration is
+// one in-order plus one out-of-order query against a loaded analyzer.
+func BenchmarkStaticBound(b *testing.B) {
+	sh, err := workload.NewShared(workload.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := NewAnalyzer()
+	const commits = 100_000
+	a.Load(sh.BodyPrefix(commits+BodySlack), commits)
+
+	base := pipeline.DefaultConfig()
+	ooo := base
+	ooo.OutOfOrder = true
+	a.Query(base)
+	a.Query(ooo)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink Bounds
+	for i := 0; i < b.N; i++ {
+		sink = a.Query(base)
+		sink = a.Query(ooo)
+	}
+	_ = sink
+}

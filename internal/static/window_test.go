@@ -1,0 +1,72 @@
+package static
+
+import "testing"
+
+// pre builds a prefix-sum array over ws.
+func pre(ws ...uint64) []uint64 {
+	out := make([]uint64, len(ws)+1)
+	for i, w := range ws {
+		out[i+1] = out[i] + w
+	}
+	return out
+}
+
+func TestWindowMax(t *testing.T) {
+	cases := []struct {
+		name  string
+		pre   []uint64
+		win   int
+		tailW uint64
+		tail  int
+		want  uint64
+	}{
+		{"empty", pre(), 4, 9, 0, 0},
+		{"window covers all", pre(3, 1, 2), 8, 0, 0, 6},
+		{"interior max", pre(1, 5, 5, 1), 2, 0, 0, 10},
+		{"prefix max", pre(9, 9, 0, 0), 2, 0, 0, 18},
+		{"suffix max", pre(0, 0, 9, 9), 2, 0, 0, 18},
+		{"overhang beats body", pre(1, 1, 1), 2, 7, 3, 14},
+		{"tail-only window", pre(1, 1), 2, 7, 4, 14},
+		{"window covers body plus tail", pre(2, 2), 5, 3, 3, 13},
+		{"zero tail weight ignores tail", pre(4, 4), 2, 0, 10, 8},
+	}
+	for _, c := range cases {
+		if got := windowMax(c.pre, c.win, c.tailW, c.tail); got != c.want {
+			t.Errorf("%s: windowMax = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestWindowMaxBrute cross-checks the windowed scan against a brute-force
+// evaluation of every window over the materialised virtual sequence.
+func TestWindowMaxBrute(t *testing.T) {
+	weights := []uint64{3, 0, 7, 7, 1, 0, 0, 9, 2, 4}
+	p := pre(weights...)
+	for _, tail := range []int{0, 1, 5} {
+		seq := append(append([]uint64{}, weights...), make([]uint64, tail)...)
+		for i := len(weights); i < len(seq); i++ {
+			seq[i] = 6
+		}
+		for win := 1; win <= len(seq)+2; win++ {
+			var want uint64
+			for s := 0; s+win <= len(seq); s++ {
+				var sum uint64
+				for _, w := range seq[s : s+win] {
+					sum += w
+				}
+				if sum > want {
+					want = sum
+				}
+			}
+			if win >= len(seq) { // windowMax returns the full sum then
+				want = 0
+				for _, w := range seq {
+					want += w
+				}
+			}
+			if got := windowMax(p, win, 6, tail); got != want {
+				t.Errorf("win=%d tail=%d: windowMax = %d, want %d", win, tail, got, want)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"softerror/internal/pipeline"
 	"softerror/internal/serate"
 	"softerror/internal/spec"
+	"softerror/internal/static"
 	"softerror/internal/workload"
 )
 
@@ -299,6 +301,60 @@ func (g *Grid) soloCell(ctx context.Context, i int, commits uint64) (Row, error)
 			b.Name, pol, iq, ooo, err)
 	}
 	return g.rowFrom(i, res), nil
+}
+
+// EstimateCells prices every cell analytically: one decode of each
+// benchmark's stream through the static analyzer, then one warm bound
+// query per cell — no simulation. The returned slice is indexed like the
+// rows (benchmark-major cell order) and holds each cell's estimated
+// simulated cycle count (static.Bounds.EstCycles). ok is false when any
+// benchmark's stream cannot be decoded position-addressably or the grid
+// is invalid; callers then fall back to unpriced behaviour.
+func (g *Grid) EstimateCells() (est []uint64, ok bool) {
+	if err := g.validate(); err != nil {
+		return nil, false
+	}
+	commits := g.Commits
+	if commits == 0 {
+		commits = core.DefaultCommits
+	}
+	if commits > 1<<31 {
+		return nil, false // pricing must stay cheap; don't decode absurd bodies
+	}
+	est = make([]uint64, g.Size())
+	blk := len(g.Policies) * len(g.IQSizes) * len(g.OutOfOrder)
+	a := static.NewAnalyzer()
+	for bi, b := range g.Benches {
+		sh, err := workload.NewShared(b.Params)
+		if err != nil {
+			return nil, false
+		}
+		a.Load(sh.BodyPrefix(int(commits)+static.BodySlack), commits)
+		for o := 0; o < blk; o++ {
+			i := bi*blk + o
+			_, cfg := g.cellConfig(i)
+			est[i] = a.Query(cfg).EstCycles
+		}
+	}
+	return est, true
+}
+
+// OrderCheapest returns every cell index ordered by ascending static cost
+// estimate (ties in cell order, so the order is deterministic). Running
+// cheap cells first shortens time-to-first-result and drains stragglers
+// last; it never changes bytes — rows are scattered back to cell order.
+// ok is false when the grid cannot be priced.
+func (g *Grid) OrderCheapest() (order []int, ok bool) {
+	est, ok := g.EstimateCells()
+	if !ok {
+		return nil, false
+	}
+	order = make([]int, len(est))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return est[order[a]] < est[order[b]] })
+	return order, true
 }
 
 // Fingerprint identifies the grid's full parameterisation (every axis that

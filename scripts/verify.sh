@@ -11,8 +11,10 @@
 #      since failure paths exercise the locking the happy path never touches
 #   4. audit tier: cmd/seraudit -quick under the race detector — every
 #      invariant check (conservation, differential oracles, server
-#      properties) over a small seed sweep; plus a short go-native fuzz
-#      pass over each harness (skip with SERA_SKIP_FUZZ=1 when iterating)
+#      properties, and static-bounds: analytic AVF bounds dominating
+#      simulated AVF per structure and bit class) over a small seed sweep;
+#      plus a short go-native fuzz pass over each harness (skip with
+#      SERA_SKIP_FUZZ=1 when iterating)
 #   5. smoke tier: the real seratd binary booted on an ephemeral port,
 #      health-checked, served a cached eval and SIGINT-drained
 #   6. fleet tier: the coordinator/worker suite under the race detector,
@@ -27,6 +29,12 @@
 #      regression. Skip with SERA_SKIP_BENCH=1 when iterating; widen with
 #      BENCH_GATE_PCT on noisy or different machines (snapshots are
 #      machine-local baselines)
+#
+# Opt-outs, for iterating on unrelated code — never for shipping:
+#   SERA_SKIP_FUZZ=1   skip the go-native fuzz passes (tier 4)
+#   SERA_SKIP_FLEET=1  skip the fleet race/invariant/smoke suite (tier 6)
+#   SERA_SKIP_BENCH=1  skip the benchmark regression gate (tier 7)
+#   BENCH_GATE_PCT=N   widen tier 7's regression gate to N percent
 set -eux
 
 fmtdirs="$(gofmt -l cmd internal examples scripts *.go)"
@@ -35,7 +43,7 @@ fmtdirs="$(gofmt -l cmd internal examples scripts *.go)"
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/par ./internal/core ./internal/sweep ./internal/fault ./internal/server
+go test -race ./internal/par ./internal/core ./internal/sweep ./internal/fault ./internal/server ./internal/static
 go test -race -run 'Chaos|CrashResume|Resilien|Watchdog|Retry|Collect|Partial|Checkpoint|Resume|Overflow|Drain|SingleFlight|Identity' \
 	./internal/par ./internal/checkpoint ./internal/fault ./internal/sweep \
 	./internal/server ./cmd/sweep ./cmd/sersim ./cmd/repro
@@ -49,6 +57,7 @@ if [ -z "${SERA_SKIP_FUZZ:-}" ]; then
 	go test -run NONE -fuzz FuzzJobPath -fuzztime 10s ./internal/server
 	go test -run NONE -fuzz FuzzLeaseRequest -fuzztime 10s ./internal/fleet
 	go test -run NONE -fuzz FuzzWorkerRegister -fuzztime 10s ./internal/fleet
+	go test -run NONE -fuzz FuzzStaticBound -fuzztime 10s ./internal/static
 fi
 sh scripts/smoke_seratd.sh
 if [ -z "${SERA_SKIP_FLEET:-}" ]; then
@@ -63,5 +72,6 @@ if [ -z "${SERA_SKIP_BENCH:-}" ]; then
 	bench_out=$(mktemp)
 	trap 'rm -f "$bench_out"' EXIT
 	go test -run NONE -bench 'PipelineHotLoop$|BatchedSweep' -benchtime 2x -benchmem . | tee "$bench_out"
+	go test -run NONE -bench StaticBound -benchtime 2x -benchmem ./internal/static | tee -a "$bench_out"
 	scripts/benchdiff.sh -gate "$bench_out"
 fi
