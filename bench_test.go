@@ -84,13 +84,11 @@ func BenchmarkPipelineHotLoop(b *testing.B) {
 	cfg := pipeline.DefaultConfig()
 	cfg.SquashTrigger = pipeline.TriggerL1Miss
 	const commits = 100_000
-	run := func(b *testing.B, singleStep, record bool) {
+	run := func(b *testing.B, cfg pipeline.Config, record bool) {
 		b.ReportAllocs()
 		var cycles uint64
 		for i := 0; i < b.N; i++ {
-			c := cfg
-			c.SingleStep = singleStep
-			p := pipeline.MustNew(c, workload.MustNew(bench.Params), workload.WarmedDefault())
+			p := pipeline.MustNew(cfg, workload.MustNew(bench.Params), workload.WarmedDefault())
 			if record {
 				cycles += p.Run(commits, true).Cycles
 			} else {
@@ -103,9 +101,16 @@ func BenchmarkPipelineHotLoop(b *testing.B) {
 		}
 		b.ReportMetric(float64(cycles)/1e6/b.Elapsed().Seconds(), "Mcycles/s")
 	}
-	b.Run("singlestep-materialized", func(b *testing.B) { run(b, true, true) })
-	b.Run("fastforward-materialized", func(b *testing.B) { run(b, false, true) })
-	b.Run("fastforward-stream", func(b *testing.B) { run(b, false, false) })
+	single := cfg
+	single.SingleStep = true
+	ooo := cfg
+	ooo.OutOfOrder = true
+	b.Run("singlestep-materialized", func(b *testing.B) { run(b, single, true) })
+	b.Run("fastforward-materialized", func(b *testing.B) { run(b, cfg, true) })
+	b.Run("fastforward-stream", func(b *testing.B) { run(b, cfg, false) })
+	// The out-of-order family on the same streaming path: ROB, LSQ and TAGE
+	// machinery active, residencies folded into the collectors' integrals.
+	b.Run("ooo", func(b *testing.B) { run(b, ooo, false) })
 }
 
 // BenchmarkBatchedSweep measures the batched evaluation path on the
@@ -163,6 +168,26 @@ func BenchmarkBatchedSweep(b *testing.B) {
 				cycles += res.Cycles
 			}
 			batched += time.Since(start)
+			return cycles
+		})
+	})
+	// The same batched column with the out-of-order family in every lane:
+	// one decode still drives all eight lanes, each additionally carrying a
+	// ROB, an LSQ and the TAGE predictor.
+	oooSpecs := batchedSweepColumn()
+	for i := range oooSpecs {
+		oooSpecs[i].Pipeline.OutOfOrder = true
+	}
+	b.Run("ooo", func(b *testing.B) {
+		run(b, func() uint64 {
+			results, err := core.RunBatchContext(context.Background(), bench.Params, commits, oooSpecs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles uint64
+			for _, res := range results {
+				cycles += res.Cycles
+			}
 			return cycles
 		})
 	})

@@ -12,7 +12,14 @@
 //	repro protection — absolute SDC/DUE rates across protection schemes (§2, §8)
 //	repro regfile    — register-file AVFs across the roster (§8's extension)
 //	repro simpoints  — AVF sensitivity to the SimPoint slice chosen (§5)
-//	repro all        — everything above (except simpoints)
+//	repro structures — ROB/LSQ/TAGE AVFs under squashing (-core ooo only)
+//	repro all        — everything above (except simpoints and structures)
+//
+// The -core flag selects the core family: "inorder" (default) is the
+// paper's machine, "ooo" swaps in the out-of-order family (reorder buffer
+// with in-order retire, load/store queue with forwarding, TAGE predictor)
+// for every suite-routed experiment, so the squash-vs-AVF trade-off can
+// be re-asked on a machine whose window reorders.
 //
 // The table builders live in internal/experiments, shared with the seratd
 // evaluation service: a served response is byte-identical to this command's
@@ -42,9 +49,10 @@ func main() {
 
 func run(args []string) error {
 	d := cli.NewDriver("repro",
-		"repro [flags] <table1|table2|outcomes|fig2|fig3|fig4|breakdown|ablation|protection|regfile|simpoints|all>")
+		"repro [flags] <table1|table2|outcomes|fig2|fig3|fig4|breakdown|ablation|protection|regfile|simpoints|structures|all>")
 	fs := d.FS
 	commits := fs.Uint64("commits", core.DefaultCommits, "committed instructions per run")
+	coreFam := fs.String("core", "inorder", "core family for suite-routed experiments: inorder or ooo")
 	benchList := fs.String("benches", "", "comma-separated benchmark subset (default: all 26)")
 	pet := fs.Int("pet", 512, "PET buffer entries for fig2")
 	rawFIT := fs.Float64("rawfit", 0.001, "raw soft-error rate per bit (FIT), for protection")
@@ -84,6 +92,13 @@ func run(args []string) error {
 	}
 	suite := core.NewSuite(benches, *commits)
 	suite.Ctx = ctx
+	switch *coreFam {
+	case "inorder":
+	case "ooo":
+		suite.OutOfOrder = true
+	default:
+		return cli.Usagef("unknown core family %q (want inorder or ooo)", *coreFam)
+	}
 	p := experiments.Params{
 		Suite:     suite,
 		Benches:   benches,

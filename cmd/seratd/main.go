@@ -56,6 +56,7 @@ func run(args []string) error {
 	maxQueue := fs.Int("maxqueue", 8, "accepted sweep jobs allowed to wait for a slot")
 	maxEvals := fs.Int("maxevals", 4, "eval computations in flight before shedding with 429")
 	cacheMB := fs.Int64("cachemb", 64, "result cache budget in MiB")
+	maxEstMcycles := fs.Float64("maxestmcycles", 0, "admission budget in estimated simulated Mcycles: sweeps the static cost model prices above it are rejected with 422 (0: no budget)")
 	ckDir := fs.String("checkpoint", "", "directory for interrupted-job checkpoints (empty: drain waits for jobs to finish)")
 	drainWait := fs.Duration("drainwait", time.Minute, "maximum time to wait for in-flight work at shutdown")
 	coord := fs.Bool("coordinator", false, "run as fleet coordinator: dispatch sweep jobs to workers as leases")
@@ -83,6 +84,9 @@ func run(args []string) error {
 	}
 	if *memLimit < 0 {
 		return cli.Usagef("-memlimit must be >= 0, got %d", *memLimit)
+	}
+	if *maxEstMcycles < 0 {
+		return cli.Usagef("-maxestmcycles must be >= 0, got %g", *maxEstMcycles)
 	}
 	if *memLimit > 0 {
 		debug.SetMemoryLimit(*memLimit << 20)
@@ -117,6 +121,7 @@ func run(args []string) error {
 		Workers:       d.Jobs(),
 		CacheBytes:    *cacheMB << 20,
 		CheckpointDir: *ckDir,
+		MaxEstMcycles: *maxEstMcycles,
 		Fleet:         co,
 	})
 	defer srv.Close()

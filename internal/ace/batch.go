@@ -107,16 +107,20 @@ type BatchCollector struct {
 	n       int         // one past the highest committed body index
 	commits int         // total commits; == n iff [0, n) is hole-free
 
-	iq Report
-	fe Report
-	sb SBReport
+	iq  Report
+	fe  Report
+	sb  SBReport
+	rob Report
+	lsq LSQReport
 
 	// Wrong-path IQ residencies aggregate during the run (addRead is
 	// linear, so summed buckets settle exactly); index is dest<<1 | control.
 	wrongIQ [4]struct{ wait, linger uint64 }
 
-	fePending []batchPendingRead
-	sbPending []batchPendingOcc
+	fePending  []batchPendingRead
+	sbPending  []batchPendingOcc
+	robPending []batchPendingRead
+	lsqPending []batchPendingOcc
 }
 
 // NewBatchCollector builds one lane's collector over the batch's shared
@@ -156,9 +160,12 @@ func (c *BatchCollector) Reset(cfg CollectorConfig, group *BatchGroup) error {
 	}
 	c.n, c.commits = 0, 0
 	c.iq, c.fe, c.sb = Report{}, Report{}, SBReport{}
+	c.rob, c.lsq = Report{}, LSQReport{}
 	c.wrongIQ = [4]struct{ wait, linger uint64 }{}
 	c.fePending = c.fePending[:0]
 	c.sbPending = c.sbPending[:0]
+	c.robPending = c.robPending[:0]
+	c.lsqPending = c.lsqPending[:0]
 	return nil
 }
 
@@ -252,6 +259,41 @@ func (c *BatchCollector) BatchStoreBuffer(ref pipeline.BatchRef, seq, enq, evict
 		return
 	}
 	c.sbPending = append(c.sbPending, batchPendingOcc{body: ref.Body(), occ: evict - enq})
+}
+
+// BatchROB implements pipeline.BatchOOOSink: one closed reorder-buffer
+// interval. Read (retired) entries are always correct-path and committed,
+// so their category resolves from the shared log in Finish.
+func (c *BatchCollector) BatchROB(ref pipeline.BatchRef, seq, enq, evict uint64, read bool) {
+	if c.cfg.ROBSize == 0 {
+		return
+	}
+	if evict <= enq {
+		return
+	}
+	occ := evict - enq
+	if !read {
+		c.rob.addNeverRead(occ)
+		return
+	}
+	c.robPending = append(c.robPending, batchPendingRead{body: ref.Body(), wait: occ})
+}
+
+// BatchLSQ implements pipeline.BatchOOOSink: one closed load/store-queue
+// interval.
+func (c *BatchCollector) BatchLSQ(ref pipeline.BatchRef, seq, enq, evict uint64, read bool) {
+	if c.cfg.LSQSize == 0 {
+		return
+	}
+	if evict <= enq {
+		return
+	}
+	occ := evict - enq
+	if !read {
+		c.lsq.addNeverRead(occ)
+		return
+	}
+	c.lsqPending = append(c.lsqPending, batchPendingOcc{body: ref.Body(), occ: occ})
 }
 
 // Finish settles every deferred charge against the group's shared deadness
@@ -392,6 +434,42 @@ func (c *BatchCollector) Finish(cycles uint64) *Reports {
 		c.sb.finalize()
 		sb := c.sb
 		out.StoreBuffer = &sb
+	}
+	if c.cfg.ROBSize > 0 {
+		for i := range c.robPending {
+			p := &c.robPending[i]
+			var in *isa.Inst
+			cat := CatACE // not in the log: conservatively live
+			if j := subIdx(p.body); j >= 0 {
+				cat = cats[j]
+				in = &log[j]
+			} else {
+				in = c.group.src.Body(p.body)
+			}
+			c.rob.addRead(p.wait, 0, cat, in.Dest != isa.RegNone, in.Class.IsControl())
+		}
+		c.rob.Cycles = cycles
+		c.rob.Entries = c.cfg.ROBSize
+		c.rob.BitsPer = isa.EntryPayloadBits
+		c.rob.Dead = dead
+		c.rob.finalize()
+		rob := c.rob
+		out.ROB = &rob
+	}
+	if c.cfg.LSQSize > 0 {
+		for i := range c.lsqPending {
+			p := &c.lsqPending[i]
+			cat := CatACE
+			if j := subIdx(p.body); j >= 0 {
+				cat = cats[j]
+			}
+			c.lsq.add(p.occ, cat)
+		}
+		c.lsq.Cycles = cycles
+		c.lsq.Entries = c.cfg.LSQSize
+		c.lsq.finalize()
+		lsq := c.lsq
+		out.LSQ = &lsq
 	}
 	return out
 }

@@ -15,6 +15,11 @@ type CollectorConfig struct {
 	IQSize         int
 	FrontEndCap    int
 	StoreBufferCap int
+	// ROBSize and LSQSize enable the out-of-order structure analyses when
+	// nonzero (they stay zero for the in-order family, whose runs emit no
+	// ROB/LSQ events).
+	ROBSize int
+	LSQSize int
 	// Commits pre-sizes the commit log (0 if unknown).
 	Commits uint64
 
@@ -28,12 +33,18 @@ type CollectorConfig struct {
 // StructureConfig derives a Collector's geometry from the pipeline
 // configuration that will drive it. The optional analyses start disabled.
 func StructureConfig(pcfg pipeline.Config, commits uint64) CollectorConfig {
-	return CollectorConfig{
+	cfg := CollectorConfig{
 		IQSize:         pcfg.IQSize,
 		FrontEndCap:    pcfg.FrontEndCap(),
 		StoreBufferCap: pcfg.StoreBufferSize,
 		Commits:        commits,
 	}
+	if pcfg.OutOfOrder {
+		n := pcfg.Normalized()
+		cfg.ROBSize = n.ROBSize
+		cfg.LSQSize = n.LSQSize
+	}
+	return cfg
 }
 
 // Reports bundles the analyses a Collector produced from one stream. The
@@ -43,7 +54,11 @@ type Reports struct {
 	FrontEnd    *Report
 	StoreBuffer *SBReport
 	RegFile     *RegFileReport
-	Dead        *Deadness
+	// ROB and LSQ are produced only for out-of-order runs (nonzero
+	// ROBSize/LSQSize in the CollectorConfig).
+	ROB  *Report
+	LSQ  *LSQReport
+	Dead *Deadness
 }
 
 // pendingRead is a read exposure whose deadness category is not yet known:
@@ -81,12 +96,16 @@ type Collector struct {
 	waits        []uint64 // pre-issue IQ wait per committed instruction
 	commitCycles []uint64 // issue cycles, kept only for the regfile pass
 
-	iq Report
-	fe Report
-	sb SBReport
+	iq  Report
+	fe  Report
+	sb  SBReport
+	rob Report
+	lsq LSQReport
 
-	fePending []pendingRead
-	sbPending []pendingOcc
+	fePending  []pendingRead
+	sbPending  []pendingOcc
+	robPending []pendingRead
+	lsqPending []pendingOcc
 }
 
 // NewCollector builds a streaming collector. Pass it to
@@ -180,6 +199,50 @@ func (c *Collector) OnStoreBuffer(r pipeline.Residency) {
 	c.sbPending = append(c.sbPending, pendingOcc{seq: r.Inst.Seq, occ: occ})
 }
 
+// OnROB implements pipeline.OOOSink: one closed reorder-buffer interval.
+// Read entries (retired in order) are always correct-path, so their
+// category resolves from the commit log in Finish; unread entries were
+// flushed, squashed or clipped and are benign.
+func (c *Collector) OnROB(r pipeline.Residency) {
+	if c.cfg.ROBSize == 0 {
+		return
+	}
+	occ := r.Occupancy()
+	if occ == 0 {
+		return
+	}
+	if !r.Issued {
+		c.rob.addNeverRead(occ)
+		return
+	}
+	// Retire is the read point and the eviction (Issue == Evict): the whole
+	// occupancy is pre-read wait, with no post-read linger.
+	c.robPending = append(c.robPending, pendingRead{
+		seq:       r.Inst.Seq,
+		wait:      occ,
+		hasDest:   r.Inst.Dest != isa.RegNone,
+		isControl: r.Inst.Class.IsControl(),
+	})
+}
+
+// OnLSQ implements pipeline.OOOSink: one closed load/store-queue interval.
+// Read entries (retired loads and predicated-false stores, drained stores)
+// are always correct-path.
+func (c *Collector) OnLSQ(r pipeline.Residency) {
+	if c.cfg.LSQSize == 0 {
+		return
+	}
+	occ := r.Occupancy()
+	if occ == 0 {
+		return
+	}
+	if !r.Issued {
+		c.lsq.addNeverRead(occ)
+		return
+	}
+	c.lsqPending = append(c.lsqPending, pendingOcc{seq: r.Inst.Seq, occ: occ})
+}
+
 // Finish runs the deadness analysis over the collected commit log, settles
 // every deferred charge, and returns the reports. cycles is the run length
 // (Stats.Cycles). The Collector must not receive further events.
@@ -224,6 +287,28 @@ func (c *Collector) Finish(cycles uint64) *Reports {
 	}
 	if c.cfg.RegFile {
 		out.RegFile = analyzeRegFileLog(c.log, c.commitCycles, cycles, dead)
+	}
+	if c.cfg.ROBSize > 0 {
+		for i := range c.robPending {
+			p := &c.robPending[i]
+			c.rob.addRead(p.wait, 0, dead.OfSeq(p.seq), p.hasDest, p.isControl)
+		}
+		c.rob.Cycles = cycles
+		c.rob.Entries = c.cfg.ROBSize
+		c.rob.BitsPer = isa.EntryPayloadBits
+		c.rob.Dead = dead
+		c.rob.finalize()
+		out.ROB = &c.rob
+	}
+	if c.cfg.LSQSize > 0 {
+		for i := range c.lsqPending {
+			p := &c.lsqPending[i]
+			c.lsq.add(p.occ, dead.OfSeq(p.seq))
+		}
+		c.lsq.Cycles = cycles
+		c.lsq.Entries = c.cfg.LSQSize
+		c.lsq.finalize()
+		out.LSQ = &c.lsq
 	}
 	return out
 }

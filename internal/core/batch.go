@@ -113,6 +113,9 @@ func RunBatchArena(ctx context.Context, a *Arena, w workload.Params, commits uin
 			LoadMissRateL1:    st.LoadMissRate(cache.LevelL1),
 			FrontEndReport:    reps.FrontEnd,
 			StoreBufferReport: reps.StoreBuffer,
+			ROBReport:         reps.ROB,
+			LSQReport:         reps.LSQ,
+			TAGEReport:        tageReport(cfgs[i], st),
 		}
 	}
 	return out, nil

@@ -173,6 +173,26 @@ type Result struct {
 	// Config.FrontEnd / Config.StoreBuffer were set.
 	FrontEndReport    *ace.Report
 	StoreBufferReport *ace.SBReport
+	// ROBReport, LSQReport and TAGEReport are the out-of-order family's
+	// structure analyses, present only when Pipeline.OutOfOrder was set.
+	ROBReport  *ace.Report
+	LSQReport  *ace.LSQReport
+	TAGEReport *ace.TAGEReport
+}
+
+// tageReport closes the TAGE exposure integral carried by an out-of-order
+// run's stats; nil for the in-order family.
+func tageReport(cfg pipeline.Config, st pipeline.Stats) *ace.TAGEReport {
+	if !cfg.OutOfOrder {
+		return nil
+	}
+	n := cfg.Normalized()
+	return &ace.TAGEReport{
+		Cycles:       st.Cycles,
+		Tables:       n.TAGETables,
+		TableEntries: 1 << n.TAGETableBits,
+		ReadCycles:   st.TAGEReadCycles,
+	}
 }
 
 // Run executes one simulation end to end: build the generator, warm the
@@ -241,6 +261,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if cfg.StoreBuffer {
 			res.StoreBufferReport = ace.AnalyzeStoreBuffer(tr, rep.Dead)
 		}
+		if cfg.Pipeline.OutOfOrder {
+			res.ROBReport = ace.AnalyzeROB(tr, rep.Dead)
+			res.LSQReport = ace.AnalyzeLSQ(tr, rep.Dead)
+			res.TAGEReport = ace.AnalyzeTAGE(tr)
+		}
 		simCycles.Add(res.Cycles)
 		return res, nil
 	}
@@ -275,5 +300,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		RegFile:           reps.RegFile,
 		FrontEndReport:    reps.FrontEnd,
 		StoreBufferReport: reps.StoreBuffer,
+		ROBReport:         reps.ROB,
+		LSQReport:         reps.LSQ,
+		TAGEReport:        tageReport(cfg.Pipeline, st),
 	}, nil
 }

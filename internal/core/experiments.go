@@ -40,6 +40,10 @@ type Suite struct {
 	// suite runs: SIGINT-aware drivers set it so an interrupt aborts within
 	// one simulation. Nil means context.Background().
 	Ctx context.Context
+	// OutOfOrder selects the out-of-order core family (ROB, LSQ, TAGE)
+	// for every simulation the suite runs. Set it before the first
+	// Result/Prewarm call: the memo does not key on it.
+	OutOfOrder bool
 
 	mu      sync.Mutex
 	results map[suiteKey]*suiteCell
@@ -111,6 +115,7 @@ func (s *Suite) Result(b spec.Benchmark, pol Policy) (*Result, error) {
 func (s *Suite) simulate(b spec.Benchmark, pol Policy) (*Result, error) {
 	s.sims.Add(1)
 	pcfg := pipeline.DefaultConfig()
+	pcfg.OutOfOrder = s.OutOfOrder
 	pol.Apply(&pcfg)
 	r, err := RunContext(s.ctx(), Config{Workload: b.Params, Pipeline: pcfg, Commits: s.Commits})
 	if err != nil {
@@ -201,6 +206,7 @@ func (s *Suite) simulateBatch(b spec.Benchmark, pols []Policy) ([]*Result, error
 	specs := make([]BatchSpec, len(pols))
 	for i, pol := range pols {
 		cfg := pipeline.DefaultConfig()
+		cfg.OutOfOrder = s.OutOfOrder
 		pol.Apply(&cfg)
 		specs[i] = BatchSpec{Pipeline: cfg}
 	}
@@ -270,6 +276,69 @@ func (s *Suite) Table1() ([]Table1Row, error) {
 			MeritSDC: serate.Merit(ipc, sdc),
 			MeritDUE: serate.Merit(ipc, due),
 		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-order structures: per-policy AVFs of the ROB, LSQ and TAGE tables.
+
+// StructuresRow is one design point of the out-of-order structure table:
+// roster means of the extra structures' vulnerability under one policy.
+type StructuresRow struct {
+	Policy Policy
+	IPC    float64
+	// ROB AVFs (instruction-entry bits, retire is the read point).
+	ROBSDC float64
+	ROBDUE float64
+	// LSQ AVFs (address + data bits, store-to-load forwarding reads).
+	LSQSDC float64
+	LSQDUE float64
+	// TAGE false DUE (predictor state is never architecturally ACE, so
+	// its SDC contribution is structurally zero).
+	TAGEFalseDUE float64
+}
+
+// Structures reports the out-of-order family's extra structures — reorder
+// buffer, load/store queue and TAGE tables — under the baseline and both
+// squash triggers, answering whether squash-on-miss still pays off when
+// the window reorders. The suite must have OutOfOrder set: the in-order
+// family has none of these structures.
+func (s *Suite) Structures() ([]StructuresRow, error) {
+	if !s.OutOfOrder {
+		return nil, fmt.Errorf("core: Structures needs an out-of-order suite (set Suite.OutOfOrder)")
+	}
+	pols := []Policy{PolicyBaseline, PolicySquashL1, PolicySquashL0}
+	if err := s.Prewarm(pols...); err != nil {
+		return nil, err
+	}
+	rows := make([]StructuresRow, 0, len(pols))
+	for _, pol := range pols {
+		var row StructuresRow
+		row.Policy = pol
+		for _, b := range s.Benches {
+			r, err := s.Result(b, pol)
+			if err != nil {
+				return nil, err
+			}
+			if r.ROBReport == nil || r.LSQReport == nil || r.TAGEReport == nil {
+				return nil, fmt.Errorf("core: %s under %v produced no out-of-order reports", b.Name, pol)
+			}
+			row.IPC += r.IPC
+			row.ROBSDC += r.ROBReport.SDCAVF()
+			row.ROBDUE += r.ROBReport.DUEAVF()
+			row.LSQSDC += r.LSQReport.SDCAVF()
+			row.LSQDUE += r.LSQReport.DUEAVF()
+			row.TAGEFalseDUE += r.TAGEReport.FalseDUEAVF()
+		}
+		n := float64(len(s.Benches))
+		row.IPC /= n
+		row.ROBSDC /= n
+		row.ROBDUE /= n
+		row.LSQSDC /= n
+		row.LSQDUE /= n
+		row.TAGEFalseDUE /= n
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -62,9 +62,11 @@ var AllOrder = []string{
 }
 
 // Names returns the individual experiment names in AllOrder-then-extras
-// order ("all" itself is not listed).
+// order ("all" itself is not listed). "structures" needs an out-of-order
+// suite and so, like "simpoints", stays out of AllOrder — the "all"
+// artefact's bytes are pinned by results/repro_all.txt.
 func Names() []string {
-	return append(append([]string{}, AllOrder...), "simpoints")
+	return append(append([]string{}, AllOrder...), "simpoints", "structures")
 }
 
 // Valid reports whether name is a buildable experiment ("all" included).
@@ -105,6 +107,8 @@ func Build(ctx context.Context, name string, p Params) (*report.Table, error) {
 		return RegFile(p.Suite)
 	case "simpoints":
 		return SimPoints(p.Benches, p.Commits, p.SimPoints)
+	case "structures":
+		return Structures(p.Suite)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
 	}
@@ -152,6 +156,24 @@ func Table1(s *core.Suite) (*report.Table, error) {
 	for _, r := range rows {
 		t.AddRow(r.Policy.String(), report.F2(r.IPC), report.Pct(r.SDCAVF),
 			report.Pct(r.DUEAVF), report.F2(r.MeritSDC), report.F2(r.MeritDUE))
+	}
+	return t, nil
+}
+
+// Structures reports the out-of-order family's extra structures (ROB, LSQ,
+// TAGE tables) under the baseline and both squash triggers. The suite must
+// have OutOfOrder set.
+func Structures(s *core.Suite) (*report.Table, error) {
+	rows, err := s.Structures()
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Out-of-order structures: squashing vs ROB, LSQ and TAGE vulnerability",
+		"design point", "IPC", "ROB SDC", "ROB DUE", "LSQ SDC", "LSQ DUE", "TAGE false DUE")
+	for _, r := range rows {
+		t.AddRow(r.Policy.String(), report.F2(r.IPC), report.Pct(r.ROBSDC),
+			report.Pct(r.ROBDUE), report.Pct(r.LSQSDC), report.Pct(r.LSQDUE),
+			report.Pct(r.TAGEFalseDUE))
 	}
 	return t, nil
 }

@@ -141,6 +141,17 @@ func NewFrontEndInjector(tr *pipeline.Trace, dead *ace.Deadness) *Injector {
 	return NewStructureInjector(tr.FrontEnd, tr.Cycles, tr.FrontEndCap, tr.CommitLog, dead)
 }
 
+// NewROBInjector prepares fault injection over the out-of-order family's
+// reorder-buffer residencies (traces recorded with Config.OutOfOrder).
+// Retire is the read point, and only correct-path entries are ever read,
+// so the commit-path machinery decides each strike's fate exactly as for
+// the IQ. The load/store queue and the TAGE tables are analysed at report
+// level, like the store buffer: their payloads are addresses, data and
+// predictor state rather than instruction entries.
+func NewROBInjector(tr *pipeline.Trace, dead *ace.Deadness) *Injector {
+	return NewStructureInjector(tr.ROB, tr.Cycles, tr.ROBCap, tr.CommitLog, dead)
+}
+
 // NewStructureInjector prepares fault injection over arbitrary residency
 // intervals of a structure with the given entry count.
 func NewStructureInjector(res []pipeline.Residency, cycles uint64, entries int, log []isa.Inst, dead *ace.Deadness) *Injector {

@@ -262,6 +262,52 @@ func TestFrontEndInjectorCampaign(t *testing.T) {
 	}
 }
 
+func TestROBInjectorCampaign(t *testing.T) {
+	// Reorder-buffer strikes (out-of-order family): retire is the read
+	// point, only correct-path entries are ever read, and the commit-path
+	// machinery resolves each strike exactly as for the IQ. The taxonomy
+	// invariants must hold there too.
+	cfg := pipeline.DefaultConfig()
+	cfg.OutOfOrder = true
+	gen := workload.MustNew(workload.Default())
+	mem := cache.MustNewDefault()
+	workload.WarmCaches(mem)
+	tr := pipeline.MustNew(cfg, gen, mem).Run(60000, true)
+	rep := ace.Analyze(tr)
+	inj := NewROBInjector(tr, rep.Dead)
+
+	unprot, err := inj.Run(Config{Protection: cache.ProtNone, Strikes: 30000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unprot.SDCFraction() <= 0 {
+		t.Fatal("ROB strikes should produce SDC on an unprotected buffer")
+	}
+	rob := ace.AnalyzeROB(tr, rep.Dead)
+	if got, want := unprot.SDCFraction(), rob.SDCAVF(); math.Abs(got-want) > 0.02 {
+		t.Fatalf("ROB Monte-Carlo SDC %.4f vs analytic %.4f", got, want)
+	}
+
+	prev := math.Inf(1)
+	for lvl := ace.TrackNever; lvl <= ace.TrackMemory; lvl++ {
+		res, err := inj.Run(Config{Protection: cache.ProtParity, Level: lvl, Strikes: 30000, Seed: 14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counts[OutcomeMissedError] != 0 {
+			t.Fatalf("ROB level %v missed %d true errors", lvl, res.Counts[OutcomeMissedError])
+		}
+		f := res.FalseDUEFraction()
+		if f > prev+0.01 {
+			t.Fatalf("ROB false DUE increased at level %v", lvl)
+		}
+		prev = f
+	}
+	if prev > 0.01 {
+		t.Fatalf("full tracking left %.4f ROB false DUE", prev)
+	}
+}
+
 func TestStdErr(t *testing.T) {
 	r := &Result{Strikes: 10000}
 	r.Counts[OutcomeSDC] = 2500 // p = 0.25

@@ -79,5 +79,14 @@ func RandomPipelineConfig(s *rng.Stream) pipeline.Config {
 	cfg.SquashTrigger = pipeline.Trigger(s.Intn(3))
 	cfg.ThrottleTrigger = pipeline.Trigger(s.Intn(3))
 	cfg.OutOfOrder = s.Bool(0.3)
+	// Out-of-order family dimensions, always drawn so every seed consumes a
+	// fixed number of stream values (the in-order family ignores them).
+	// The TAGE draw stays inside Validate's folded-history word limit
+	// (tables*bits <= 48, bits <= 12).
+	cfg.ROBSize = 16 << s.Intn(5) // 16..256
+	cfg.RetireWidth = 1 + s.Intn(8)
+	cfg.LSQSize = 4 << s.Intn(4) // 4..32
+	cfg.TAGETables = 1 + s.Intn(5)
+	cfg.TAGETableBits = 5 + s.Intn(5)
 	return cfg
 }

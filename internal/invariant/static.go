@@ -18,7 +18,9 @@ import (
 // seed-drawn workload and pipeline configuration, every analytic AVF upper
 // bound dominates the simulated AVF for its structure — SDC, false DUE and
 // DUE for the instruction queue, front end, store buffer and register
-// file, and every IQ bit-field class — and the cycle lower bound never
+// file (plus the reorder buffer, load/store queue and predictor tables
+// when the drawn config is out of order), and every IQ bit-field class —
+// and the cycle lower bound never
 // exceeds the simulated cycle count. Then the serving leg: /v1/bound
 // answers the same cell twice byte-identically without simulating a single
 // cycle.
@@ -65,6 +67,24 @@ func checkStaticBounds(seed uint64, opt Options) error {
 		{"reg-file sdc", b.RegFile.SDC, res.RegFile.SDCAVF()},
 		{"reg-file false-due", b.RegFile.FalseDUE, res.RegFile.FalseDUEAVF()},
 		{"reg-file due", b.RegFile.DUE, res.RegFile.DUEAVF()},
+	}
+	if res.ROBReport != nil {
+		pairs = append(pairs,
+			pair{"rob sdc", b.ROB.SDC, res.ROBReport.SDCAVF()},
+			pair{"rob false-due", b.ROB.FalseDUE, res.ROBReport.FalseDUEAVF()},
+			pair{"rob due", b.ROB.DUE, res.ROBReport.DUEAVF()})
+	}
+	if res.LSQReport != nil {
+		pairs = append(pairs,
+			pair{"lsq sdc", b.LSQ.SDC, res.LSQReport.SDCAVF()},
+			pair{"lsq false-due", b.LSQ.FalseDUE, res.LSQReport.FalseDUEAVF()},
+			pair{"lsq due", b.LSQ.DUE, res.LSQReport.DUEAVF()})
+	}
+	if res.TAGEReport != nil {
+		pairs = append(pairs,
+			pair{"tage sdc", b.TAGE.SDC, res.TAGEReport.SDCAVF()},
+			pair{"tage false-due", b.TAGE.FalseDUE, res.TAGEReport.FalseDUEAVF()},
+			pair{"tage due", b.TAGE.DUE, res.TAGEReport.DUEAVF()})
 	}
 	total := float64(res.Report.TotalBC())
 	for f, bound := range b.IQField {

@@ -91,10 +91,13 @@ type BatchSink interface {
 }
 
 // sinkAdapter lifts a plain Sink to a BatchSink by reconstructing each
-// event's instruction from the shared stream.
+// event's instruction from the shared stream. os caches the sink's OOOSink
+// side (nil when the sink doesn't implement it), so out-of-order events
+// forward without a per-event type assertion.
 type sinkAdapter struct {
 	src BatchSource
 	s   Sink
+	os  OOOSink
 }
 
 func (a *sinkAdapter) BatchCommit(ref BatchRef, seq, enq, issue uint64) {
@@ -120,6 +123,30 @@ func (a *sinkAdapter) BatchStoreBuffer(ref BatchRef, seq, enq, evict uint64) {
 		Inst: ref.Inst(a.src, seq), Enq: enq, Evict: evict,
 		Issued: true, Issue: evict,
 	})
+}
+
+func (a *sinkAdapter) BatchROB(ref BatchRef, seq, enq, evict uint64, read bool) {
+	if a.os == nil {
+		return
+	}
+	r := Residency{Inst: ref.Inst(a.src, seq), Enq: enq, Evict: evict, Squashed: !read}
+	if read {
+		r.Issued = true
+		r.Issue = evict
+	}
+	a.os.OnROB(r)
+}
+
+func (a *sinkAdapter) BatchLSQ(ref BatchRef, seq, enq, evict uint64, read bool) {
+	if a.os == nil {
+		return
+	}
+	r := Residency{Inst: ref.Inst(a.src, seq), Enq: enq, Evict: evict, Squashed: !read}
+	if read {
+		r.Issued = true
+		r.Issue = evict
+	}
+	a.os.OnLSQ(r)
 }
 
 // Compact queue entries: ~3× smaller than their solo counterparts, which
@@ -262,6 +289,13 @@ type batchLane struct {
 	nextBody   int // correct-path cursor: next body index to fetch fresh
 	wrongDrawn int // wrong-path draws so far
 
+	// Out-of-order family state (see batchooo.go); empty when !ooo.
+	ooo     bool
+	rob     ring[brobEntry]
+	lsq     ring[blsqEntry]
+	tage    tageState
+	oooSink BatchOOOSink
+
 	stats           Stats
 	lastCommits     uint64
 	lastCommitCycle uint64
@@ -288,7 +322,9 @@ func RunBatch(ctx context.Context, commits uint64, src BatchSource, cfgs []Confi
 		case BatchSink:
 			bs[i] = t
 		default:
-			bs[i] = &sinkAdapter{src: src, s: s}
+			ad := &sinkAdapter{src: src, s: s}
+			ad.os, _ = s.(OOOSink)
+			bs[i] = ad
 		}
 	}
 	return RunBatchStream(ctx, commits, src, cfgs, mems, bs)
@@ -302,10 +338,13 @@ func RunBatch(ctx context.Context, commits uint64, src BatchSource, cfgs []Confi
 // results: every lane field is rebuilt from scratch each run — the
 // arena-reuse seraudit check pins fresh ≡ reused byte-identity.
 type BatchArena struct {
-	lanes  []*batchLane
-	iqSlab []biqEntry
-	feSlab []bfeEntry
-	sbSlab []bsbEntry
+	lanes    []*batchLane
+	iqSlab   []biqEntry
+	feSlab   []bfeEntry
+	sbSlab   []bsbEntry
+	robSlab  []brobEntry
+	lsqSlab  []blsqEntry
+	tageSlab []uint64
 }
 
 // slab returns buf resized to n entries, reusing its backing array when
@@ -372,6 +411,7 @@ func RunBatchStreamArena(ctx context.Context, commits uint64, src BatchSource, c
 	// reachable would pin a whole workload's memos past its eviction.
 	for _, ln := range lanes {
 		ln.src, ln.slicer, ln.mem, ln.sink, ln.body = nil, nil, nil, nil, nil
+		ln.oooSink = nil
 	}
 	return out, nil
 }
@@ -387,14 +427,24 @@ func newLanes(src BatchSource, cfgs []Config, mems []*cache.Hierarchy, sinks []B
 		a = &BatchArena{}
 	}
 	var iqTotal, feTotal, sbTotal int
+	var robTotal, lsqTotal, tageTotal int
 	for i := range cfgs {
 		iqTotal += cfgs[i].IQSize
 		feTotal += cfgs[i].FrontEndCap()
 		sbTotal += cfgs[i].StoreBufferSize
+		if cfgs[i].OutOfOrder {
+			n := cfgs[i].Normalized()
+			robTotal += n.ROBSize
+			lsqTotal += n.LSQSize
+			tageTotal += n.TAGETables << n.TAGETableBits
+		}
 	}
 	a.iqSlab = slab(a.iqSlab, iqTotal)
 	a.feSlab = slab(a.feSlab, feTotal)
 	a.sbSlab = slab(a.sbSlab, sbTotal)
+	a.robSlab = slab(a.robSlab, robTotal)
+	a.lsqSlab = slab(a.lsqSlab, lsqTotal)
+	a.tageSlab = slab(a.tageSlab, tageTotal)
 
 	for len(a.lanes) < len(cfgs) {
 		a.lanes = append(a.lanes, &batchLane{})
@@ -402,8 +452,9 @@ func newLanes(src BatchSource, cfgs []Config, mems []*cache.Hierarchy, sinks []B
 	slicer, _ := src.(bodySlicer)
 	lanes := a.lanes[:len(cfgs)]
 	iqOff, feOff, sbOff := 0, 0, 0
+	robOff, lsqOff, tageOff := 0, 0, 0
 	for i := range cfgs {
-		cfg := cfgs[i]
+		cfg := cfgs[i].Normalized()
 		feCap := cfg.FrontEndCap()
 		ln := lanes[i]
 		refetch := slab(ln.refetch, cfg.IQSize+feCap)[:0]
@@ -432,6 +483,19 @@ func newLanes(src BatchSource, cfgs []Config, mems []*cache.Hierarchy, sinks []B
 		iqOff += cfg.IQSize
 		feOff += feCap
 		sbOff += cfg.StoreBufferSize
+		if cfg.OutOfOrder {
+			ln.ooo = true
+			ln.rob.buf = a.robSlab[robOff : robOff+cfg.ROBSize]
+			ln.lsq.buf = a.lsqSlab[lsqOff : lsqOff+cfg.LSQSize]
+			robOff += cfg.ROBSize
+			lsqOff += cfg.LSQSize
+			tn := cfg.TAGETables << cfg.TAGETableBits
+			ln.tage.init(&cfg, a.tageSlab[tageOff:tageOff+tn])
+			tageOff += tn
+			if s, ok := sinks[i].(BatchOOOSink); ok {
+				ln.oooSink = s
+			}
+		}
 	}
 	return lanes
 }
@@ -478,14 +542,24 @@ func (ln *batchLane) flush() {
 		e := ln.sb.at(i)
 		ln.sink.BatchStoreBuffer(e.ref, e.seq, e.enq, ln.cycle)
 	}
+	if ln.ooo {
+		ln.oooFlushEnd(ln.cycle)
+	}
 }
 
 func (ln *batchLane) step() {
 	now := ln.cycle
-	ln.drainStores(now)
+	if ln.ooo {
+		ln.drainLSQ(now)
+	} else {
+		ln.drainStores(now)
+	}
 	ln.resolveBranch(now)
 	ln.applySquashes(now)
 	ln.applyThrottles(now)
+	if ln.ooo {
+		ln.retire(now)
+	}
 	ln.evict(now)
 	ln.issue(now)
 	ln.deliver(now)
@@ -545,6 +619,9 @@ func (ln *batchLane) nextEventCycle(now uint64) uint64 {
 			horizon = at
 		}
 	}
+	if ln.ooo {
+		horizon = ln.oooEventCycle(horizon)
+	}
 	for i := ln.issuePtr; i < ln.iq.n; i++ {
 		if horizon <= now {
 			return now
@@ -578,7 +655,7 @@ func (ln *batchLane) readyCycle(e *biqEntry) uint64 {
 	if in.PredFalse {
 		return t
 	}
-	if in.Class == isa.ClassStore && ln.sb.n >= ln.cfg.StoreBufferSize {
+	if in.Class == isa.ClassStore && !ln.ooo && ln.sb.n >= ln.cfg.StoreBufferSize {
 		return neverCycle
 	}
 	if in.Src1 != isa.RegNone && ln.regReady[in.Src1] > t {
@@ -639,6 +716,9 @@ func (ln *batchLane) resolveBranch(now uint64) {
 		kept++
 	}
 	ln.fe.n = kept
+	if ln.ooo {
+		ln.oooFlushWrong(now)
+	}
 }
 
 func (ln *batchLane) applySquashes(now uint64) {
@@ -687,6 +767,9 @@ func (ln *batchLane) doSquash(now uint64, ev squashEvent) {
 		ln.squashVictim(fe.ref, fe.seq)
 	}
 	ln.fe.n = kept
+	if ln.ooo {
+		ln.oooSquash(now, ev)
+	}
 
 	if ln.refetchHead > 0 {
 		m := copy(ln.refetch, ln.refetch[ln.refetchHead:])
@@ -791,7 +874,7 @@ func (ln *batchLane) ready(e *biqEntry, now uint64) bool {
 	if in.PredFalse {
 		return true
 	}
-	if in.Class == isa.ClassStore && ln.sb.n >= ln.cfg.StoreBufferSize {
+	if in.Class == isa.ClassStore && !ln.ooo && ln.sb.n >= ln.cfg.StoreBufferSize {
 		return false
 	}
 	if in.Src1 != isa.RegNone && ln.regReady[in.Src1] > now {
@@ -804,6 +887,10 @@ func (ln *batchLane) ready(e *biqEntry, now uint64) bool {
 }
 
 func (ln *batchLane) execute(e *biqEntry, now uint64) {
+	if ln.ooo {
+		ln.executeOOO(e, now)
+		return
+	}
 	e.issued = true
 	e.issue = now
 	e.evictAt = now + uint64(ln.cfg.ReplayWindow)
@@ -912,6 +999,13 @@ func (ln *batchLane) deliver(now uint64) {
 		fe := ln.fe.at(n)
 		if fe.readyAt > now || ln.iq.n >= ln.cfg.IQSize {
 			break
+		}
+		if ln.ooo {
+			in := ln.feContent(fe)
+			if !ln.oooAdmit(in) {
+				break
+			}
+			ln.oooDispatch(in, fe, now)
 		}
 		ln.iq.push(biqEntry{ref: fe.ref, seq: fe.seq, in: fe.in, enq: now})
 		ln.recordFrontEnd(fe, now, true)

@@ -1,0 +1,338 @@
+package pipeline
+
+import "softerror/internal/isa"
+
+// This file is the batched mirror of ooo.go: the out-of-order family's
+// structures in compact (ref, seq) form, phase-identical to the solo
+// engine so a lane's event stream and statistics stay byte-identical to a
+// solo run of the same configuration. Entry content is read back through
+// the shared BatchSource exactly where the solo engine reads its inlined
+// isa.Inst copies.
+
+// brobEntry is one compact reorder-buffer slot.
+type brobEntry struct {
+	enq        uint64
+	completeAt uint64 // 0 until issued; earliest cycle the entry may retire
+	seq        uint64
+	ref        BatchRef
+	mem        bool // has an LSQ twin to settle at retire
+}
+
+// blsqEntry is one compact load/store-queue slot.
+type blsqEntry struct {
+	addr    uint64
+	enq     uint64
+	drainAt uint64 // nonzero once a retired store is scheduled to drain
+	seq     uint64
+	ref     BatchRef
+	store   bool // correct-path non-predicated-false store: drains at retire
+	live    bool // executed store currently claiming the forwarding window
+}
+
+// BatchOOOSink is the compact counterpart of OOOSink: the out-of-order
+// structures' events with the (ref, seq) pair instead of a materialised
+// instruction. Every interval's read point coincides with its eviction
+// (retire or drain), so evict carries both; read=false marks copies
+// flushed, squashed or clipped without a read.
+type BatchOOOSink interface {
+	BatchROB(ref BatchRef, seq, enq, evict uint64, read bool)
+	BatchLSQ(ref BatchRef, seq, enq, evict uint64, read bool)
+}
+
+// feContent returns the instruction content behind a front-end entry: the
+// memoised body pointer for correct-path fetches, the shared wrong-path
+// draw otherwise.
+func (ln *batchLane) feContent(fe *bfeEntry) *isa.Inst {
+	if fe.in != nil {
+		return fe.in
+	}
+	return ln.src.Wrong(int(fe.seq) - fe.ref.Body())
+}
+
+// lanePC reconstructs the lane-relabeled PC the solo engine would hold
+// for this fetch — the TAGE hash input (see BatchRef.Inst).
+func (ln *batchLane) lanePC(in *isa.Inst, fe *bfeEntry) uint64 {
+	n := fe.ref.Body()
+	d := fe.seq - uint64(n)
+	if fe.ref.Wrong() {
+		return ln.inst(n).PC + 4*d
+	}
+	return in.PC + 4*d
+}
+
+// oooAdmit mirrors Pipeline.oooAdmit.
+func (ln *batchLane) oooAdmit(in *isa.Inst) bool {
+	if ln.rob.n >= ln.cfg.ROBSize {
+		return false
+	}
+	if (in.Class == isa.ClassLoad || in.Class == isa.ClassStore) && ln.lsq.n >= ln.cfg.LSQSize {
+		return false
+	}
+	return true
+}
+
+// oooDispatch mirrors Pipeline.oooDispatch.
+func (ln *batchLane) oooDispatch(in *isa.Inst, fe *bfeEntry, now uint64) {
+	mem := in.Class == isa.ClassLoad || in.Class == isa.ClassStore
+	ln.rob.push(brobEntry{enq: now, seq: fe.seq, ref: fe.ref, mem: mem})
+	if mem {
+		ln.lsq.push(blsqEntry{
+			addr: in.Addr, enq: now, seq: fe.seq, ref: fe.ref,
+			store: in.Class == isa.ClassStore && !fe.ref.Wrong() && !in.PredFalse,
+		})
+	}
+	if in.Class.IsControl() {
+		ln.stats.TAGEReadCycles += ln.tage.touch(ln.lanePC(in, fe), now)
+		ln.tage.note(in.Taken)
+	}
+}
+
+// executeOOO mirrors Pipeline.executeOOO.
+func (ln *batchLane) executeOOO(e *biqEntry, now uint64) {
+	e.issued = true
+	e.issue = now
+	e.evictAt = now + uint64(ln.cfg.ReplayWindow)
+
+	done := now + 1 // earliest retire; refined per class below
+
+	if e.ref.Wrong() {
+		ln.robComplete(e.seq, done)
+		return
+	}
+	in := e.in
+
+	ln.stats.Commits++
+	if ln.sink != nil {
+		ln.sink.BatchCommit(e.ref, e.seq, e.enq, now)
+	}
+
+	if in.PredFalse {
+		ln.robComplete(e.seq, done)
+		return
+	}
+
+	switch in.Class {
+	case isa.ClassALU:
+		done = now + uint64(ln.cfg.ALULatency)
+		ln.writeDest(in, done)
+	case isa.ClassFPU:
+		done = now + uint64(ln.cfg.FPLatency)
+		ln.writeDest(in, done)
+	case isa.ClassLoad:
+		if ln.lsqHolds(in.Addr) {
+			ln.stats.ForwardedLoads++
+			ln.writeDest(in, now+1)
+			break
+		}
+		res := ln.mem.Access(in.Addr, false)
+		ln.stats.LoadsByLevel[res.Level]++
+		done = now + uint64(res.Latency)
+		ln.writeDest(in, done)
+		ln.maybeTrigger(e.seq, res, now)
+	case isa.ClassStore:
+		ln.lsqClaim(e.seq)
+	case isa.ClassIO:
+		ln.mem.Access(in.Addr, true)
+	case isa.ClassPrefetch:
+		ln.mem.Prefetch(in.Addr)
+	case isa.ClassBranch, isa.ClassCall, isa.ClassReturn:
+		if in.Mispred && ln.wrongMode && ln.wrongSrcSeq == e.seq {
+			ln.resolveAt = now + uint64(ln.cfg.BranchResolveLatency)
+			done = ln.resolveAt
+		}
+	case isa.ClassNop, isa.ClassHint:
+	}
+	ln.robComplete(e.seq, done)
+}
+
+// robComplete mirrors Pipeline.robComplete.
+func (ln *batchLane) robComplete(seq, done uint64) {
+	for i := 0; i < ln.rob.n; i++ {
+		if e := ln.rob.at(i); e.completeAt == 0 && e.seq == seq {
+			e.completeAt = done
+			return
+		}
+	}
+}
+
+// retire mirrors Pipeline.retire.
+func (ln *batchLane) retire(now uint64) {
+	n := 0
+	for n < ln.rob.n && n < ln.cfg.RetireWidth {
+		e := ln.rob.at(n)
+		if e.completeAt == 0 || now < e.completeAt {
+			break
+		}
+		read := !e.ref.Wrong()
+		ln.recordROB(e, now, read)
+		if e.mem {
+			ln.lsqRetire(e.seq, now, read)
+		}
+		n++
+	}
+	if n > 0 {
+		ln.rob.pop(n)
+	}
+}
+
+// lsqRetire mirrors Pipeline.lsqRetire. The store flag pre-encodes the
+// solo engine's "executed correct-path store" test.
+func (ln *batchLane) lsqRetire(seq, now uint64, read bool) {
+	for i := 0; i < ln.lsq.n; i++ {
+		e := ln.lsq.at(i)
+		if e.seq != seq {
+			continue
+		}
+		if read && e.store {
+			e.drainAt = now + uint64(ln.cfg.StoreDrainLatency)
+			return
+		}
+		ln.recordLSQ(e, now, read)
+		ln.lsqRemove(i)
+		return
+	}
+}
+
+// drainLSQ mirrors Pipeline.drainLSQ.
+func (ln *batchLane) drainLSQ(now uint64) {
+	if ln.lsq.n == 0 {
+		return
+	}
+	e := ln.lsq.at(0)
+	if e.drainAt == 0 || now < e.drainAt {
+		return
+	}
+	ln.mem.Access(e.addr, true)
+	ln.recordLSQ(e, now, true)
+	ln.lsq.pop(1)
+}
+
+// oooFlushWrong mirrors Pipeline.oooFlushWrong.
+func (ln *batchLane) oooFlushWrong(now uint64) {
+	kept := 0
+	for i := 0; i < ln.rob.n; i++ {
+		e := ln.rob.at(i)
+		if e.ref.Wrong() {
+			ln.recordROB(e, now, false)
+			continue
+		}
+		if kept != i {
+			*ln.rob.at(kept) = *e
+		}
+		kept++
+	}
+	ln.rob.n = kept
+	kept = 0
+	for i := 0; i < ln.lsq.n; i++ {
+		e := ln.lsq.at(i)
+		if e.ref.Wrong() {
+			ln.recordLSQ(e, now, false)
+			continue
+		}
+		if kept != i {
+			*ln.lsq.at(kept) = *e
+		}
+		kept++
+	}
+	ln.lsq.n = kept
+}
+
+// oooSquash mirrors Pipeline.oooSquash.
+func (ln *batchLane) oooSquash(now uint64, ev squashEvent) {
+	kept := 0
+	for i := 0; i < ln.rob.n; i++ {
+		e := ln.rob.at(i)
+		if e.completeAt != 0 || e.seq <= ev.loadSeq {
+			if kept != i {
+				*ln.rob.at(kept) = *e
+			}
+			kept++
+			continue
+		}
+		ln.recordROB(e, now, false)
+		if e.mem {
+			ln.lsqRemoveSeq(e.seq, now)
+		}
+	}
+	ln.rob.n = kept
+}
+
+// lsqRemoveSeq mirrors Pipeline.lsqRemove.
+func (ln *batchLane) lsqRemoveSeq(seq, now uint64) {
+	for i := 0; i < ln.lsq.n; i++ {
+		if e := ln.lsq.at(i); e.seq == seq {
+			ln.recordLSQ(e, now, false)
+			ln.lsqRemove(i)
+			return
+		}
+	}
+}
+
+// lsqRemove closes the ring over the removed slot i, preserving order.
+func (ln *batchLane) lsqRemove(i int) {
+	for j := i + 1; j < ln.lsq.n; j++ {
+		*ln.lsq.at(j - 1) = *ln.lsq.at(j)
+	}
+	ln.lsq.n--
+}
+
+// oooFlushEnd mirrors Pipeline.oooFlushEnd.
+func (ln *batchLane) oooFlushEnd(cycle uint64) {
+	for i := 0; i < ln.rob.n; i++ {
+		ln.recordROB(ln.rob.at(i), cycle, false)
+	}
+	for i := 0; i < ln.lsq.n; i++ {
+		e := ln.lsq.at(i)
+		ln.recordLSQ(e, cycle, e.drainAt != 0)
+	}
+}
+
+// oooEventCycle mirrors Pipeline.oooEventCycle.
+func (ln *batchLane) oooEventCycle(horizon uint64) uint64 {
+	if ln.rob.n > 0 {
+		if at := ln.rob.at(0).completeAt; at != 0 && at < horizon {
+			horizon = at
+		}
+	}
+	if ln.lsq.n > 0 {
+		if at := ln.lsq.at(0).drainAt; at != 0 && at < horizon {
+			horizon = at
+		}
+	}
+	return horizon
+}
+
+// lsqHolds mirrors the solo engine's refcounted lsqAddrs map: a live
+// (executed, undrained) store entry covering addr forwards to loads.
+func (ln *batchLane) lsqHolds(addr uint64) bool {
+	for i := 0; i < ln.lsq.n; i++ {
+		if e := ln.lsq.at(i); e.live && e.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// lsqClaim opens the forwarding window of the store that just executed.
+func (ln *batchLane) lsqClaim(seq uint64) {
+	for i := 0; i < ln.lsq.n; i++ {
+		if e := ln.lsq.at(i); e.seq == seq {
+			e.live = true
+			return
+		}
+	}
+}
+
+func (ln *batchLane) recordROB(e *brobEntry, evict uint64, read bool) {
+	if ln.oooSink == nil {
+		return
+	}
+	ln.oooSink.BatchROB(e.ref, e.seq, e.enq, evict, read)
+}
+
+func (ln *batchLane) recordLSQ(e *blsqEntry, evict uint64, read bool) {
+	if ln.oooSink == nil {
+		return
+	}
+	ln.oooSink.BatchLSQ(e.ref, e.seq, e.enq, evict, read)
+}

@@ -100,13 +100,30 @@ type Config struct {
 	// before it may drain (one drain per cycle).
 	StoreDrainLatency int
 
-	// OutOfOrder allows issue to skip past stalled entries and pick any
-	// ready instruction in the queue (register-true dataflow order). The
-	// paper's machine is in-order; this mode supports its §3.1 remark
-	// that the squashing trade-off is "similar, though not as pronounced,
-	// for out-of-order machines": stalled loads no longer block
-	// independent work, so less state pools behind misses.
+	// OutOfOrder selects the out-of-order core family: issue skips past
+	// stalled entries and picks any ready instruction (register-true
+	// dataflow order), and the core grows the family's AVF-bearing
+	// structures — a reorder buffer with in-order retire, a load/store
+	// queue with store-to-load forwarding and drain-at-retire, and a
+	// TAGE-class predictor table read on every control fetch. The paper's
+	// machine is in-order; this family answers its §3.1 remark that the
+	// squashing trade-off is "similar, though not as pronounced, for
+	// out-of-order machines": stalled loads no longer block independent
+	// work, so less state pools behind misses.
 	OutOfOrder bool
+
+	// ROBSize, RetireWidth and LSQSize dimension the out-of-order
+	// family's reorder buffer (entries; retired in order, at most
+	// RetireWidth per cycle) and load/store queue. TAGETables and
+	// TAGETableBits dimension the TAGE predictor: TAGETables tagged
+	// tables of 1<<TAGETableBits entries with geometrically growing
+	// history lengths. All five are ignored by the in-order family;
+	// zero values select the defaults Normalized fills in.
+	ROBSize       int
+	RetireWidth   int
+	LSQSize       int
+	TAGETables    int
+	TAGETableBits int
 
 	// SquashTrigger squashes all unissued IQ entries younger than a load
 	// that misses at the trigger level, stalls fetch until the miss
@@ -159,6 +176,35 @@ func DefaultConfig() Config {
 	}
 }
 
+// Normalized returns the configuration with the out-of-order family's
+// zero-valued structure dimensions replaced by their defaults: a 192-entry
+// ROB retiring 8 per cycle, a 48-entry LSQ, and a 4-table TAGE predictor
+// with 512-entry tables. In-order configurations pass through unchanged,
+// so the in-order family's behaviour (and byte encoding) is untouched.
+// The engines and the static analyzer normalize internally; callers only
+// need this to learn which dimensions a run actually used.
+func (c Config) Normalized() Config {
+	if !c.OutOfOrder {
+		return c
+	}
+	if c.ROBSize == 0 {
+		c.ROBSize = 192
+	}
+	if c.RetireWidth == 0 {
+		c.RetireWidth = 8
+	}
+	if c.LSQSize == 0 {
+		c.LSQSize = 48
+	}
+	if c.TAGETables == 0 {
+		c.TAGETables = 4
+	}
+	if c.TAGETableBits == 0 {
+		c.TAGETableBits = 9
+	}
+	return c
+}
+
 // Validate reports a descriptive error for invalid configurations.
 func (c *Config) Validate() error {
 	pos := []struct {
@@ -191,6 +237,32 @@ func (c *Config) Validate() error {
 	}
 	if c.ThrottleTrigger > TriggerL1Miss {
 		return fmt.Errorf("pipeline: invalid ThrottleTrigger %d", c.ThrottleTrigger)
+	}
+	ooo := []struct {
+		name string
+		v    int
+	}{
+		{"ROBSize", c.ROBSize},
+		{"RetireWidth", c.RetireWidth},
+		{"LSQSize", c.LSQSize},
+		{"TAGETables", c.TAGETables},
+		{"TAGETableBits", c.TAGETableBits},
+	}
+	for _, f := range ooo {
+		if f.v < 0 {
+			return fmt.Errorf("pipeline: %s = %d, want >= 0", f.name, f.v)
+		}
+	}
+	if c.OutOfOrder {
+		n := c.Normalized()
+		if n.TAGETableBits > 12 {
+			return fmt.Errorf("pipeline: TAGETableBits = %d, want <= 12", n.TAGETableBits)
+		}
+		// The folded global history must fit one uint64 word.
+		if n.TAGETables*n.TAGETableBits > 48 {
+			return fmt.Errorf("pipeline: TAGETables*TAGETableBits = %d, want <= 48",
+				n.TAGETables*n.TAGETableBits)
+		}
 	}
 	return nil
 }

@@ -87,8 +87,16 @@ type Pipeline struct {
 	throttleQ   []throttleEvent
 	stallUntil  uint64
 
-	stats Stats
-	sink  Sink
+	// Out-of-order family state (see ooo.go); nil/zero for in-order.
+	ooo      bool
+	rob      []robEntry
+	lsq      []lsqEntry
+	lsqAddrs map[uint64]int // live LSQ store addresses, refcounted
+	tage     tageState
+
+	stats   Stats
+	sink    Sink
+	oooSink OOOSink // sink's optional OOOSink side, bound at run start
 }
 
 // New builds a pipeline over the given instruction source and data-cache
@@ -101,6 +109,7 @@ func New(cfg Config, src Source, mem *cache.Hierarchy) (*Pipeline, error) {
 	if src == nil || mem == nil {
 		return nil, fmt.Errorf("pipeline: nil source or memory")
 	}
+	cfg = cfg.Normalized()
 	p := &Pipeline{
 		cfg:   cfg,
 		src:   src,
@@ -117,6 +126,13 @@ func New(cfg Config, src Source, mem *cache.Hierarchy) (*Pipeline, error) {
 	p.refetch = make([]isa.Inst, 0, cfg.IQSize+p.feCap)
 	p.squashQ = make([]squashEvent, 0, 8)
 	p.throttleQ = make([]throttleEvent, 0, 8)
+	if cfg.OutOfOrder {
+		p.ooo = true
+		p.rob = make([]robEntry, 0, cfg.ROBSize)
+		p.lsq = make([]lsqEntry, 0, cfg.LSQSize)
+		p.lsqAddrs = make(map[uint64]int, cfg.LSQSize)
+		p.tage.init(&cfg, make([]uint64, cfg.TAGETables<<cfg.TAGETableBits))
+	}
 	return p, nil
 }
 
@@ -166,6 +182,9 @@ func (p *Pipeline) RunContext(ctx context.Context, commits uint64, record bool) 
 // path: with a streaming sink no per-instruction slice is ever built.
 func (p *Pipeline) RunStream(ctx context.Context, commits uint64, sink Sink) (Stats, error) {
 	p.sink = sink
+	if s, ok := sink.(OOOSink); ok {
+		p.oooSink = s
+	}
 	lastCommitCycle := uint64(0)
 	lastCommits := uint64(0)
 	for iter := uint64(0); p.stats.Commits < commits; iter++ {
@@ -201,6 +220,9 @@ func (p *Pipeline) RunStream(ctx context.Context, commits uint64, sink Sink) (St
 				Issued: true, Issue: p.cycle,
 			})
 		}
+		if p.ooo {
+			p.oooFlushEnd(p.cycle)
+		}
 	}
 	p.stats.Cycles = p.cycle
 	return p.stats, nil
@@ -209,10 +231,17 @@ func (p *Pipeline) RunStream(ctx context.Context, commits uint64, sink Sink) (St
 // step advances one cycle.
 func (p *Pipeline) step() {
 	now := p.cycle
-	p.drainStores(now)
+	if p.ooo {
+		p.drainLSQ(now)
+	} else {
+		p.drainStores(now)
+	}
 	p.resolveBranch(now)
 	p.applySquashes(now)
 	p.applyThrottles(now)
+	if p.ooo {
+		p.retire(now)
+	}
 	p.evict(now)
 	p.issue(now)
 	p.deliver(now)
@@ -281,6 +310,9 @@ func (p *Pipeline) nextEventCycle(now uint64) uint64 {
 	if len(p.frontEnd) > 0 && len(p.iq) < p.cfg.IQSize && p.frontEnd[0].readyAt < horizon {
 		horizon = p.frontEnd[0].readyAt
 	}
+	if p.ooo {
+		horizon = p.oooEventCycle(horizon)
+	}
 	// Earliest issue among unissued entries. In-order issue stalls on the
 	// first unissued instruction, so only its readiness matters; out of
 	// order, any entry may issue next.
@@ -320,7 +352,7 @@ func (p *Pipeline) readyCycle(in *isa.Inst) uint64 {
 	if in.PredFalse {
 		return t // guard known false: operand values are irrelevant
 	}
-	if in.Class == isa.ClassStore && len(p.sb) >= p.cfg.StoreBufferSize {
+	if in.Class == isa.ClassStore && !p.ooo && len(p.sb) >= p.cfg.StoreBufferSize {
 		return neverCycle
 	}
 	if in.Src1 != isa.RegNone && p.regReady[in.Src1] > t {
@@ -380,6 +412,9 @@ func (p *Pipeline) resolveBranch(now uint64) {
 		keptFE = append(keptFE, *fe)
 	}
 	p.frontEnd = keptFE
+	if p.ooo {
+		p.oooFlushWrong(now)
+	}
 }
 
 // applySquashes fires pending squash events whose detection cycle arrived.
@@ -426,6 +461,9 @@ func (p *Pipeline) doSquash(now uint64, ev squashEvent) {
 		p.squashVictim(fe.inst)
 	}
 	p.frontEnd = keptFE
+	if p.ooo {
+		p.oooSquash(now, ev)
+	}
 
 	if p.refetchHead > 0 {
 		m := copy(p.refetch, p.refetch[p.refetchHead:])
@@ -555,7 +593,7 @@ func (p *Pipeline) ready(in *isa.Inst, now uint64) bool {
 	if in.PredFalse {
 		return true // guard known false: operand values are irrelevant
 	}
-	if in.Class == isa.ClassStore && len(p.sb) >= p.cfg.StoreBufferSize {
+	if in.Class == isa.ClassStore && !p.ooo && len(p.sb) >= p.cfg.StoreBufferSize {
 		return false // store buffer full: the store cannot issue
 	}
 	if in.Src1 != isa.RegNone && p.regReady[in.Src1] > now {
@@ -568,8 +606,13 @@ func (p *Pipeline) ready(in *isa.Inst, now uint64) bool {
 }
 
 // execute issues one entry: reads it (the parity-check point), performs its
-// side effects, and schedules its eviction.
+// side effects, and schedules its eviction. The out-of-order family runs
+// its own copy (ooo.go) so the in-order hot path stays branch-identical.
 func (p *Pipeline) execute(e *iqEntry, now uint64) {
+	if p.ooo {
+		p.executeOOO(e, now)
+		return
+	}
 	e.issued = true
 	e.issue = now
 	e.evictAt = now + uint64(p.cfg.ReplayWindow)
@@ -689,6 +732,12 @@ func (p *Pipeline) deliver(now uint64) {
 		fe := &p.frontEnd[n]
 		if fe.readyAt > now || len(p.iq) >= p.cfg.IQSize {
 			break
+		}
+		if p.ooo {
+			if !p.oooAdmit(&fe.inst) {
+				break
+			}
+			p.oooDispatch(&fe.inst, now)
 		}
 		p.iq = append(p.iq, iqEntry{inst: fe.inst, enq: now})
 		p.recordFrontEnd(fe, now, true)

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"sort"
 	"testing"
 
 	"softerror/internal/cache"
@@ -539,6 +540,80 @@ func TestOutOfOrderCommitLogRestoredToProgramOrder(t *testing.T) {
 	}
 	if len(tr.CommitCycles) != len(tr.CommitLog) {
 		t.Fatal("commit cycles out of sync")
+	}
+}
+
+func TestOutOfOrderRetireInOrderWithinCapacity(t *testing.T) {
+	gen := workload.MustNew(workload.Default())
+	cfg := DefaultConfig()
+	cfg.OutOfOrder = true
+	mem := cache.MustNewDefault()
+	workload.WarmCaches(mem)
+	tr := MustNew(cfg, gen, mem).Run(20000, true)
+	if len(tr.ROB) == 0 {
+		t.Fatal("OoO run recorded no ROB residencies")
+	}
+	// Retire (the ROB read point) must follow program order: sorted by
+	// Seq, the read cycles of read entries never decrease. Unread entries
+	// are squash/flush victims and carry no retire point.
+	byseq := append([]Residency(nil), tr.ROB...)
+	sort.Slice(byseq, func(i, j int) bool { return byseq[i].Inst.Seq < byseq[j].Inst.Seq })
+	var last uint64
+	for _, r := range byseq {
+		if !r.Issued {
+			continue
+		}
+		if r.Issue < last {
+			t.Fatalf("seq %d retired at %d, before its elder at %d", r.Inst.Seq, r.Issue, last)
+		}
+		last = r.Issue
+	}
+	// Concurrent occupancy never exceeds the configured capacity. Closed
+	// intervals are [Enq, Evict); sweep the endpoints.
+	checkCap := func(name string, res []Residency, capacity int) {
+		type ev struct {
+			cyc   uint64
+			delta int
+		}
+		evs := make([]ev, 0, 2*len(res))
+		for _, r := range res {
+			evs = append(evs, ev{r.Enq, 1}, ev{r.Evict, -1})
+		}
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].cyc != evs[j].cyc {
+				return evs[i].cyc < evs[j].cyc
+			}
+			return evs[i].delta < evs[j].delta // evictions free slots first
+		})
+		occ, peak := 0, 0
+		for _, e := range evs {
+			occ += e.delta
+			if occ > peak {
+				peak = occ
+			}
+		}
+		if peak > capacity {
+			t.Fatalf("%s peak occupancy %d exceeds capacity %d", name, peak, capacity)
+		}
+	}
+	checkCap("ROB", tr.ROB, tr.ROBCap)
+	checkCap("LSQ", tr.LSQ, tr.LSQCap)
+}
+
+func TestOutOfOrderStoreToLoadForwarding(t *testing.T) {
+	params := workload.Default()
+	params.StoreFrac = 0.2 // plenty of queued stores for loads to hit
+	gen := workload.MustNew(params)
+	cfg := DefaultConfig()
+	cfg.OutOfOrder = true
+	mem := cache.MustNewDefault()
+	workload.WarmCaches(mem)
+	tr := MustNew(cfg, gen, mem).Run(20000, true)
+	if tr.ForwardedLoads == 0 {
+		t.Fatal("no store-to-load forwarding in an OoO run with 30% stores")
+	}
+	if len(tr.LSQ) == 0 {
+		t.Fatal("no LSQ residencies recorded")
 	}
 }
 

@@ -34,6 +34,21 @@ type Sink interface {
 	OnCommit(in isa.Inst, enq, issue uint64)
 }
 
+// OOOSink is the optional extension a Sink implements to receive the
+// out-of-order family's extra structures. The engines type-assert once at
+// run start; a plain Sink on an out-of-order run simply misses these
+// events. Both events reuse Residency with the structure's own read point:
+// a ROB entry is read at its in-order retire, an LSQ entry at its retire
+// (loads, predicated-false stores) or its drain to the cache (executed
+// stores) — so Issue == Evict for every read interval, and Issued=false
+// marks copies flushed, squashed or clipped without a read.
+type OOOSink interface {
+	// OnROB reports one closed reorder-buffer occupancy interval.
+	OnROB(r Residency)
+	// OnLSQ reports one closed load/store-queue occupancy interval.
+	OnLSQ(r Residency)
+}
+
 // Stats holds the scalar counters of one run — everything a Trace records
 // besides its interval slices. RunStream returns it so streaming consumers
 // get IPC, miss rates and event counts without a Trace.
@@ -52,6 +67,11 @@ type Stats struct {
 	LoadsByLevel [4]uint64
 
 	FetchStallCycles uint64
+
+	// TAGEReadCycles integrates the out-of-order family's predictor-table
+	// read exposure: entry-cycles since last read, summed over every
+	// lookup (0 for the in-order family).
+	TAGEReadCycles uint64
 }
 
 // IPC returns committed instructions per cycle.
@@ -92,6 +112,13 @@ func NewTraceRecorder(cfg Config, commits uint64) *TraceRecorder {
 	rec.tr.IQSize = cfg.IQSize
 	rec.tr.FrontEndCap = cfg.FrontEndCap()
 	rec.tr.StoreBufferCap = cfg.StoreBufferSize
+	if cfg.OutOfOrder {
+		n := cfg.Normalized()
+		rec.tr.ROBCap = n.ROBSize
+		rec.tr.LSQCap = n.LSQSize
+		rec.tr.TAGETables = n.TAGETables
+		rec.tr.TAGETableEntries = 1 << n.TAGETableBits
+	}
 	if commits > 0 {
 		rec.tr.CommitLog = make([]isa.Inst, 0, commits)
 		rec.tr.CommitCycles = make([]uint64, 0, commits)
@@ -120,6 +147,16 @@ func (rec *TraceRecorder) OnCommit(in isa.Inst, _, issue uint64) {
 	rec.tr.CommitCycles = append(rec.tr.CommitCycles, issue)
 }
 
+// OnROB implements OOOSink.
+func (rec *TraceRecorder) OnROB(r Residency) {
+	rec.tr.ROB = append(rec.tr.ROB, r)
+}
+
+// OnLSQ implements OOOSink.
+func (rec *TraceRecorder) OnLSQ(r Residency) {
+	rec.tr.LSQ = append(rec.tr.LSQ, r)
+}
+
 // Trace finalises and returns the materialised trace: counters copied from
 // the run's Stats, and — under out-of-order issue, which appends commits in
 // dataflow order — the commit log restored to program order, which the
@@ -137,6 +174,7 @@ func (rec *TraceRecorder) Trace(st Stats) *Trace {
 	tr.ForwardedLoads = st.ForwardedLoads
 	tr.LoadsByLevel = st.LoadsByLevel
 	tr.FetchStallCycles = st.FetchStallCycles
+	tr.TAGEReadCycles = st.TAGEReadCycles
 	if rec.outOfOrder {
 		log, cycles := tr.CommitLog, tr.CommitCycles
 		order := make([]int, len(log))
@@ -191,5 +229,23 @@ func (t teeSink) OnStoreBuffer(r Residency) {
 func (t teeSink) OnCommit(in isa.Inst, enq, issue uint64) {
 	for _, s := range t {
 		s.OnCommit(in, enq, issue)
+	}
+}
+
+// OnROB implements OOOSink, forwarding to the members that accept it.
+func (t teeSink) OnROB(r Residency) {
+	for _, s := range t {
+		if os, ok := s.(OOOSink); ok {
+			os.OnROB(r)
+		}
+	}
+}
+
+// OnLSQ implements OOOSink, forwarding to the members that accept it.
+func (t teeSink) OnLSQ(r Residency) {
+	for _, s := range t {
+		if os, ok := s.(OOOSink); ok {
+			os.OnLSQ(r)
+		}
 	}
 }

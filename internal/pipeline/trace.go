@@ -67,6 +67,24 @@ type Trace struct {
 	StoreBuffer    []Residency
 	StoreBufferCap int
 	ForwardedLoads uint64
+	// ROB and LSQ list the out-of-order family's reorder-buffer and
+	// load/store-queue occupancy intervals (empty for the in-order
+	// family). A ROB entry's read point is its in-order retire; an LSQ
+	// entry's is its retire (loads, predicated-false stores) or its
+	// drain to the cache (executed stores). ROBCap and LSQCap echo the
+	// normalized configuration.
+	ROB    []Residency
+	ROBCap int
+	LSQ    []Residency
+	LSQCap int
+	// TAGEReadCycles integrates the TAGE predictor's read exposure: for
+	// every table lookup, the entry-cycles since that entry was last
+	// read. TAGETables and TAGETableEntries echo the normalized
+	// geometry; ace.AnalyzeTAGE turns the three into a closed-form
+	// report.
+	TAGEReadCycles   uint64
+	TAGETables       int
+	TAGETableEntries int
 	// CommitLog lists committed instructions in program (issue) order; the
 	// deadness analysis and the PET-buffer model consume it.
 	CommitLog []isa.Inst

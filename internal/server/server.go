@@ -41,6 +41,12 @@ type Config struct {
 	// checkpoint them there (fingerprint-named files) instead of waiting
 	// for them to finish; resubmitting an interrupted grid resumes it.
 	CheckpointDir string
+	// MaxEstMcycles, when positive, is the admission budget for sweep
+	// submissions in estimated simulated Mcycles: grids the static cost
+	// model prices above it are rejected with 422 (and counted by the
+	// sweeps_rejected_cost expvar) instead of being queued. Unpriceable
+	// grids (streams the analyzer cannot decode) are always admitted.
+	MaxEstMcycles float64
 	// Fleet, when set, runs this server as a fleet coordinator: sweep jobs
 	// are partitioned into leases and dispatched across the coordinator's
 	// registered workers (degrading to local execution when none are
@@ -314,11 +320,16 @@ type SweepAccepted struct {
 	// non-failed job for the identical grid, which is returned instead of
 	// re-running.
 	Deduplicated bool `json:"deduplicated,omitempty"`
+	// Priced reports whether the static cost model could price the grid.
+	// It distinguishes a genuinely ~0-Mcycle estimate from "the analyzer
+	// could not decode the stream" (false, with EstimatedMcycles zero).
+	// Deduplicated responses echo the existing job and are never priced.
+	Priced bool `json:"priced"`
 	// EstimatedMcycles is the static cost model's price for the whole
 	// grid, in millions of simulated cycles — computed analytically at
-	// admission, before any simulation runs. Zero when the grid cannot
-	// be priced (a stream the analyzer cannot decode).
-	EstimatedMcycles float64 `json:"estimated_mcycles,omitempty"`
+	// admission, before any simulation runs. Meaningful only when Priced
+	// is true.
+	EstimatedMcycles float64 `json:"estimated_mcycles"`
 }
 
 // maxSweepCells bounds an accepted grid's cell count: the benchmark and
@@ -409,6 +420,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	fp := g.Fingerprint()
 
+	// Price the grid analytically before admission, so the cost budget can
+	// reject over-budget work outright (the ROADMAP's admission pre-filter)
+	// and the 202 can report the estimate alongside an explicit priced
+	// flag. Dedup still wins: an identical already-admitted job is echoed
+	// without re-pricing.
+	var estMcycles float64
+	priced := false
+	if est, ok := g.EstimateCells(); ok {
+		var sum uint64
+		for _, c := range est {
+			sum += c
+		}
+		estMcycles = float64(sum) / 1e6
+		priced = true
+	}
+
 	s.mu.Lock()
 	if prev, ok := s.byFP[fp]; ok {
 		// Deterministic grids mean an identical submission would produce
@@ -423,6 +450,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
+	}
+	if s.cfg.MaxEstMcycles > 0 && priced && estMcycles > s.cfg.MaxEstMcycles {
+		s.mu.Unlock()
+		s.metrics.rejectedCost.Add(1)
+		httpError(w, http.StatusUnprocessableEntity,
+			"grid priced at %.1f estimated Mcycles, over the %.1f admission budget",
+			estMcycles, s.cfg.MaxEstMcycles)
+		return
 	}
 	queued := 0
 	for _, j := range s.jobs {
@@ -447,15 +482,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.jobsQueued.Add(1)
 	go s.runJob(j, g)
-	acc := SweepAccepted{ID: id, Total: j.Total}
-	if est, ok := g.EstimateCells(); ok {
-		var sum uint64
-		for _, c := range est {
-			sum += c
-		}
-		acc.EstimatedMcycles = float64(sum) / 1e6
-	}
-	writeJSON(w, http.StatusAccepted, acc)
+	writeJSON(w, http.StatusAccepted, SweepAccepted{
+		ID: id, Total: j.Total, Priced: priced, EstimatedMcycles: estMcycles,
+	})
 }
 
 // runGrid executes a sweep grid: through the fleet coordinator when this

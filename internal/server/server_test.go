@@ -330,6 +330,35 @@ func TestSweepDedup(t *testing.T) {
 	waitTerminal(t, s, a.ID)
 }
 
+// TestSweepCostAdmission: the static price is an admission pre-filter —
+// grids over the MaxEstMcycles budget are rejected with 422 (carrying the
+// offending estimate) before any cell simulates, counted by the
+// sweeps_rejected_cost expvar, while in-budget submissions carry an
+// explicit priced flag alongside the estimate.
+func TestSweepCostAdmission(t *testing.T) {
+	s := newTestServer(t, Config{MaxEstMcycles: 1e-6})
+	w := do(s, "POST", "/v1/sweep", sweepBody(testCommits))
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("over-budget sweep: status %d, want 422 (body %s)", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "estimated Mcycles") {
+		t.Fatalf("422 body lacks the offending estimate: %s", w.Body)
+	}
+	if got := s.metrics.rejectedCost.Value(); got != 1 {
+		t.Fatalf("sweeps_rejected_cost = %d, want 1", got)
+	}
+	if got := s.metrics.jobsQueued.Value(); got != 0 {
+		t.Fatalf("rejected sweep queued a job (jobs_queued = %d)", got)
+	}
+
+	big := newTestServer(t, Config{MaxEstMcycles: 1e12})
+	acc := submitSweep(t, big, sweepBody(testCommits))
+	if !acc.Priced || acc.EstimatedMcycles <= 0 {
+		t.Fatalf("accepted sweep %+v, want priced with a positive estimate", acc)
+	}
+	waitTerminal(t, big, acc.ID)
+}
+
 // TestSweepQueueOverflow fills the single slot and the single queue seat,
 // then checks the third distinct grid is rejected with 429.
 func TestSweepQueueOverflow(t *testing.T) {

@@ -80,6 +80,13 @@ type Bounds struct {
 	StoreBuffer StructBounds
 	RegFile     StructBounds
 
+	// ROB, LSQ and TAGE bound the out-of-order family's extra structures.
+	// All zero for in-order configurations, whose runs produce no such
+	// reports.
+	ROB  StructBounds
+	LSQ  StructBounds
+	TAGE StructBounds
+
 	// IQField bounds the instruction queue's per-field ACE bit-cycle
 	// fraction: IQField[f] >= Report.FieldACEBC[f] / Report.TotalBC().
 	IQField [isa.NumFields]float64
@@ -103,6 +110,9 @@ type Analyzer struct {
 
 	// Content-derived state, independent of any deadness cut.
 	uMaxPre      []uint64 // prefix sums of worst-case un-ACE bits
+	memPos       []int32  // body index of each load/store-queue resident
+	memUPre      []uint64 // per-mem-op worst-case un-ACE LSQ bit prefix sums
+	controls     uint64   // control-class instructions in the decoded body
 	storePos     []int32  // body index of each store that can enter the SB
 	definedBits  uint64   // bits of registers the program ever defines
 	deadReadBits uint64   // bits of defined registers a dead reader may read
@@ -117,10 +127,11 @@ type Analyzer struct {
 
 // cutView is the deadness-dependent weight state for one prefix cut.
 type cutView struct {
-	acePreIQ []uint64                // IQ ACE-bit prefix sums
-	acePreFE []uint64                // front-end ACE-bit prefix sums
-	fieldPre [isa.NumFields][]uint64 // per-field ACE-bit prefix sums
-	sbDead   int                     // stores proven dead to memory
+	acePreIQ  []uint64                // IQ ACE-bit prefix sums
+	acePreFE  []uint64                // front-end ACE-bit prefix sums
+	aceLSQPre []uint64                // LSQ ACE-bit prefix sums, per mem op
+	fieldPre  [isa.NumFields][]uint64 // per-field ACE-bit prefix sums
+	sbDead    int                     // stores proven dead to memory
 }
 
 // NewAnalyzer returns an empty analyzer; call Load before Query.
@@ -161,6 +172,9 @@ func (a *Analyzer) Load(body []isa.Inst, commits uint64) {
 
 	k := len(body)
 	a.uMaxPre = make([]uint64, k+1)
+	a.memPos = a.memPos[:0]
+	a.memUPre = append(a.memUPre[:0], 0)
+	a.controls = 0
 	a.storePos = a.storePos[:0]
 	a.definedBits, a.deadReadBits = 0, 0
 	a.bubbles, a.loads, a.mispreds, a.stores = 0, 0, 0, 0
@@ -172,6 +186,13 @@ func (a *Analyzer) Load(body []isa.Inst, commits uint64) {
 		a.uMaxPre[i+1] = a.uMaxPre[i] + worstUnACE(in)
 		if in.Mispred {
 			a.hasMispred = true
+		}
+		if in.Class.IsControl() {
+			a.controls++
+		}
+		if in.Class == isa.ClassLoad || in.Class == isa.ClassStore {
+			a.memPos = append(a.memPos, int32(i))
+			a.memUPre = append(a.memUPre, a.memUPre[len(a.memUPre)-1]+worstLSQUnACE(in))
 		}
 		enterSB := in.Class == isa.ClassStore && !in.PredFalse && !in.WrongPath
 		if enterSB {
@@ -285,17 +306,18 @@ func (a *Analyzer) Query(cfg pipeline.Config) Bounds {
 	}
 	// False DUE: content-derived worst-case un-ACE weights for committed
 	// instructions, plus wrong-path issue slots. In order, nothing behind
-	// an unissued mispredicted branch issues until the branch does, and
-	// the shadow is squashed BranchResolveLatency cycles later, so at most
-	// IssueWidth*(BRL+2) wrong-path instructions ever charge pre-issue
-	// wait concurrently. Out of order the branch itself may stall
-	// arbitrarily (a dependent load miss) while wrong-path fill issues
-	// freely, so the whole queue is the only cap.
+	// an unissued mispredicted branch issues until the branch does; the
+	// redirect fires BranchResolveLatency cycles after the branch issues
+	// and is processed before that cycle's issue stage, so the shadow
+	// holds at most BRL issue cycles — IssueWidth*(BRL+1) keeps one cycle
+	// of margin. Out of order the branch itself may stall arbitrarily (a
+	// dependent load miss) while wrong-path fill issues freely, so the
+	// whole queue is the only cap.
 	kWP := 0
 	if hasMispred {
 		kWP = iqSize
 		if !cfg.OutOfOrder {
-			if wp := iw * (brl + 2); wp < kWP {
+			if wp := iw * (brl + 1); wp < kWP {
 				kWP = wp
 			}
 		}
@@ -305,12 +327,21 @@ func (a *Analyzer) Query(cfg pipeline.Config) Bounds {
 	b.IQ.DUE = clamp(b.IQ.SDC + b.IQ.FalseDUE)
 
 	// Front end: same windows at the fetch buffer's capacity. Delivered
-	// wrong-path chunks charge full width with no issue-order cap.
+	// wrong-path chunks charge full width, but in order only one shadow is
+	// live at a time and its deliveries are capped by the IQ space it can
+	// drain into: the free entries at redirect plus the shadow's issue
+	// slots. Out of order the shadow drains the queue indefinitely, so the
+	// buffer capacity is the only cap.
 	feDen := float64(uint64(feCap) * B)
 	b.FrontEnd.SDC = clamp(float64(windowMax(cv.acePreFE, feCap, B, virt)) / feDen)
 	kFE := 0
 	if hasMispred {
 		kFE = feCap
+		if !cfg.OutOfOrder {
+			if v := iqSize + kWP; v < kFE {
+				kFE = v
+			}
+		}
 	}
 	b.FrontEnd.FalseDUE = clamp((float64(windowMax(a.uMaxPre, feCap, B, virt)) +
 		float64(uint64(kFE)*B)) / feDen)
@@ -346,6 +377,62 @@ func (a *Analyzer) Query(cfg pipeline.Config) Bounds {
 	b.RegFile.SDC = clamp(float64(defBits) / float64(regFileCapacityBits))
 	b.RegFile.FalseDUE = clamp(float64(deadBits) / float64(regFileCapacityBits))
 	b.RegFile.DUE = clamp(b.RegFile.SDC + b.RegFile.FalseDUE)
+
+	// Out-of-order family: reorder buffer, load/store queue and predictor
+	// tables. All zero for the in-order family, whose runs produce no such
+	// reports.
+	if cfg.OutOfOrder {
+		nrm := cfg.Normalized()
+		robSize := clampDim(nrm.ROBSize)
+		lsqSize := clampDim(nrm.LSQSize)
+
+		// Reorder buffer: retire is the read point, unread (squashed,
+		// flushed or clipped) entries are benign, and a retired entry
+		// carries exactly the IQ's per-instruction weights, so the same
+		// prefix arrays window here. Squash victims are refetched through
+		// the front end while issued survivors retire past them, so
+		// co-resident retirees can spread beyond the buffer size; the
+		// in-flight slack pads the window. Wrong-path entries never retire,
+		// so no issue-slot term is added to the false-DUE side.
+		robWin := robSize + slack
+		robDen := float64(uint64(robSize) * B)
+		b.ROB.SDC = clamp(float64(windowMax(cv.acePreIQ, robWin, B, virt)) / robDen)
+		b.ROB.FalseDUE = clamp(float64(windowMax(a.uMaxPre, robWin, B, virt)) / robDen)
+		b.ROB.DUE = clamp(b.ROB.SDC + b.ROB.FalseDUE)
+
+		// Load/store queue: only memory operations occupy entries, so the
+		// windows run over the mem-op subsequence with the same slack pad.
+		// Wrong-path entries are never read and charge nothing on either
+		// side; unknown tail slots are all taken as full-width mem ops.
+		lsqWin := lsqSize + slack
+		lsqDen := float64(uint64(lsqSize) * ace.LSQEntryBits)
+		b.LSQ.SDC = clamp(float64(windowMax(cv.aceLSQPre, lsqWin, ace.LSQEntryBits, virt)) / lsqDen)
+		b.LSQ.FalseDUE = clamp(float64(windowMax(a.memUPre, lsqWin, ace.LSQEntryBits, virt)) / lsqDen)
+		b.LSQ.DUE = clamp(b.LSQ.SDC + b.LSQ.FalseDUE)
+
+		// TAGE: predictor state never affects architectural correctness, so
+		// SDC is structurally zero. Under parity each control-class dispatch
+		// performs one lookup whose per-table gap is at most the run length,
+		// so ReadCycles <= lookups*Tables*Cycles and the false-DUE AVF is at
+		// most lookups/TableEntries. Wrong-path fill and squash refetches
+		// re-dispatch controls without a static count, so those
+		// configurations take the trivial ceiling.
+		b.TAGE.SDC = 0
+		if hasMispred || cfg.SquashTrigger != pipeline.TriggerNone {
+			b.TAGE.FalseDUE = 1
+		} else {
+			tb := nrm.TAGETableBits
+			if tb < 1 {
+				tb = 1
+			}
+			if tb > 12 {
+				tb = 12
+			}
+			entries := uint64(1) << uint(tb)
+			b.TAGE.FalseDUE = clamp(float64(a.controls+uint64(virt)) / float64(entries))
+		}
+		b.TAGE.DUE = b.TAGE.FalseDUE
+	}
 
 	// Pricing heuristic: front-end bubbles plus rough stall charges.
 	b.EstCycles = b.MinCycles + a.bubbles +
@@ -412,6 +499,23 @@ func (a *Analyzer) view(cut int) *cutView {
 			cv.sbDead++
 		}
 	}
+	// LSQ ACE weights per mem op, mirroring ace.LSQReport.add: live entries
+	// charge full width, dead ones only their address bits, predicated-false
+	// and wrong-path ones nothing. Flags pin the latter two even past the
+	// cut; deadness past the cut stays at the full-width worst case.
+	cv.aceLSQPre = make([]uint64, len(a.memPos)+1)
+	for j, pos := range a.memPos {
+		in := &a.body[pos]
+		var w uint64
+		switch {
+		case in.WrongPath, in.PredFalse:
+		case int(pos) < cut && dead.Of(in).Dead():
+			w = ace.LSQAddrBits
+		default:
+			w = ace.LSQEntryBits
+		}
+		cv.aceLSQPre[j+1] = cv.aceLSQPre[j] + w
+	}
 	a.views[cut] = cv
 	return cv
 }
@@ -466,6 +570,23 @@ func worstUnACE(in *isa.Inst) uint64 {
 		return B - uint64(isa.FieldBits[isa.FieldDest])
 	default:
 		return 0 // destination-less control flow is always fully ACE
+	}
+}
+
+// worstLSQUnACE is the largest un-ACE weight a memory operation's
+// load/store-queue occupancy can carry under any deadness outcome,
+// mirroring ace.LSQReport.add: predicated-false entries are read at retire
+// only to be discarded (full width), any other committed mem op may prove
+// dead (data bits), and wrong-path entries are never read at all (benign,
+// so no DUE either).
+func worstLSQUnACE(in *isa.Inst) uint64 {
+	switch {
+	case in.WrongPath:
+		return 0
+	case in.PredFalse:
+		return ace.LSQEntryBits
+	default:
+		return ace.LSQDataBits
 	}
 }
 
